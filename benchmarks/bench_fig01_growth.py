@@ -1,0 +1,37 @@
+"""Fig. 1 — instances, users and toots over the observation window.
+
+Paper shape: all three curves grow; instances plateau mid-window and then
+grow again, while users/toots keep growing throughout.
+"""
+
+from __future__ import annotations
+
+from repro.core import growth
+from repro.reporting import format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig01_growth_timeseries(benchmark, data):
+    series = benchmark(lambda: growth.growth_timeseries(data.instances))
+
+    rows = [
+        [point.day, point.instances, point.users, point.toots]
+        for point in series[:: max(1, len(series) // 12)]
+    ]
+    emit(
+        "Fig. 1 — population growth (sampled days)",
+        format_table(["day", "instances", "users", "toots"], rows),
+    )
+
+    assert series[-1].users >= series[0].users
+    assert series[-1].instances >= series[0].instances
+
+
+def test_fig01_growth_summary(benchmark, data):
+    summary = benchmark(lambda: growth.growth_summary(data.instances))
+    emit(
+        "Fig. 1 — growth summary",
+        format_table(["metric", "value"], [[k, round(v, 3)] for k, v in summary.items()]),
+    )
+    assert summary["final_users"] > 0

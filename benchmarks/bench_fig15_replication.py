@@ -1,0 +1,140 @@
+"""Fig. 15 — toot availability under instance/AS removal, with and without
+subscription-based replication.
+
+Paper shape: without replication, removing the top 10 instances (by
+toots) erases 62.69% of all toots and removing the top 10 ASes erases
+90.1%; replicating each toot to its followers' instances cuts those
+losses to 2.1% and 18.66% respectively.
+"""
+
+from __future__ import annotations
+
+from repro.core import replication, resilience
+from repro.reporting import format_percentage, format_table
+
+from benchmarks.conftest import emit
+
+INSTANCE_STEPS = 50
+AS_STEPS = 15
+
+
+def _rankings(data):
+    federation = data.graphs.federation_graph
+    instances = data.instances
+    users = instances.users_per_instance()
+    toots = data.toots.toots_per_instance()
+    asn_of = {d: instances.metadata_for(d).asn for d in instances.domains()}
+    instance_rankings = {
+        "by_users": resilience.rank_instances(federation, users, toots, by="users"),
+        "by_toots": resilience.rank_instances(federation, users, toots, by="toots"),
+        "by_connections": resilience.rank_instances(federation, users, toots, by="connections"),
+    }
+    as_rankings = {
+        "by_instances": resilience.rank_ases(asn_of, by="instances"),
+        "by_users": resilience.rank_ases(asn_of, users, by="users"),
+    }
+    return instance_rankings, as_rankings, asn_of
+
+
+def test_fig15_no_replication(benchmark, data):
+    instance_rankings, as_rankings, asn_of = _rankings(data)
+
+    def run():
+        placements = replication.no_replication(data.toots)
+        instance_curves = {
+            name: replication.availability_under_instance_removal(
+                placements, ranking, steps=INSTANCE_STEPS
+            )
+            for name, ranking in instance_rankings.items()
+        }
+        as_curves = {
+            name: replication.availability_under_as_removal(
+                placements, asn_of, ranking, steps=AS_STEPS
+            )
+            for name, ranking in as_rankings.items()
+        }
+        return instance_curves, as_curves
+
+    instance_curves, as_curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            removed,
+            format_percentage(replication.availability_at(instance_curves["by_toots"], removed)),
+            format_percentage(replication.availability_at(instance_curves["by_users"], removed)),
+            format_percentage(replication.availability_at(instance_curves["by_connections"], removed)),
+        ]
+        for removed in (0, 5, 10, 25, 50)
+    ]
+    emit(
+        "Fig. 15(a,b) — toot availability, no replication (instance removal)",
+        format_table(["instances removed", "rank by toots", "rank by users", "rank by connections"], rows),
+    )
+    as_rows = [
+        [
+            removed,
+            format_percentage(replication.availability_at(as_curves["by_instances"], removed)),
+            format_percentage(replication.availability_at(as_curves["by_users"], removed)),
+        ]
+        for removed in (0, 3, 5, 10, 15)
+    ]
+    emit(
+        "Fig. 15(a) — toot availability, no replication (AS removal)",
+        format_table(["ASes removed", "rank by instances", "rank by users"], as_rows),
+    )
+
+    # removing the top 10 instances erases a large share of toots (paper: 62.69%)
+    top10 = replication.availability_at(instance_curves["by_toots"], 10)
+    assert top10 < 0.7
+    # removing the top 10 ASes is even worse (paper: 90.1% lost)
+    top10_as = replication.availability_at(as_curves["by_users"], 10)
+    assert top10_as <= top10 + 0.05
+
+
+def test_fig15_subscription_replication(benchmark, data):
+    instance_rankings, as_rankings, asn_of = _rankings(data)
+
+    def run():
+        placements = replication.subscription_replication(data.toots, data.graphs)
+        instance_curve = replication.availability_under_instance_removal(
+            placements, instance_rankings["by_toots"], steps=INSTANCE_STEPS
+        )
+        as_curve = replication.availability_under_as_removal(
+            placements, asn_of, as_rankings["by_users"], steps=AS_STEPS
+        )
+        return placements, instance_curve, as_curve
+
+    placements, instance_curve, as_curve = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    no_rep = replication.no_replication(data.toots)
+    no_rep_curve = replication.availability_under_instance_removal(
+        no_rep, instance_rankings["by_toots"], steps=INSTANCE_STEPS
+    )
+    rows = [
+        [
+            removed,
+            format_percentage(replication.availability_at(no_rep_curve, removed)),
+            format_percentage(replication.availability_at(instance_curve, removed)),
+        ]
+        for removed in (0, 5, 10, 25, 50)
+    ]
+    emit(
+        "Fig. 15(c,d) — subscription replication vs no replication (instance removal by toots)",
+        format_table(["instances removed", "no replication", "subscription replication"], rows),
+    )
+    summary = placements.replication_summary()
+    emit(
+        "Fig. 15 — subscription replication placement summary",
+        format_table(
+            ["metric", "measured", "paper"],
+            [
+                ["toots without any replica", format_percentage(summary["share_without_replica"]), "9.7%"],
+                ["toots with >10 replicas", format_percentage(summary["share_with_more_than_10"]), "23%"],
+                ["mean replicas per toot", round(summary["mean_replicas"], 2), "-"],
+            ],
+        ),
+    )
+
+    # replication recovers most of the availability lost to the top-10 removal
+    assert replication.availability_at(instance_curve, 10) > replication.availability_at(no_rep_curve, 10) + 0.2
+    assert replication.availability_at(as_curve, 10) >= replication.availability_at(instance_curve, 10) - 0.6

@@ -1,0 +1,67 @@
+"""Fig. 16 — random replication vs subscription replication vs none.
+
+Paper shape: replicating each toot onto n random instances beats
+subscription-based replication for the same budget (after removing 25
+instances, S-Rep keeps 95% of toots available while a single random
+replica already keeps 99.2%); curves for n > 4 are indistinguishable from
+full availability.
+"""
+
+from __future__ import annotations
+
+from repro.core import replication, resilience
+from repro.reporting import format_percentage, format_table
+
+from benchmarks.conftest import emit
+
+REPLICA_COUNTS = (1, 2, 3, 4, 7, 9)
+STEPS = 50
+
+
+def test_fig16_random_replication(benchmark, data):
+    ranking = resilience.rank_instances(
+        data.graphs.federation_graph,
+        toots_per_instance=data.toots.toots_per_instance(),
+        by="toots",
+    )
+    domains = data.instances.domains()
+
+    def run():
+        curves = {
+            "no-rep": replication.availability_under_instance_removal(
+                replication.no_replication(data.toots), ranking, steps=STEPS
+            ),
+            "s-rep": replication.availability_under_instance_removal(
+                replication.subscription_replication(data.toots, data.graphs), ranking, steps=STEPS
+            ),
+        }
+        for n_replicas in REPLICA_COUNTS:
+            curves[f"n={n_replicas}"] = replication.availability_under_instance_removal(
+                replication.random_replication(data.toots, domains, n_replicas, seed=7),
+                ranking,
+                steps=STEPS,
+            )
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    removals = (5, 10, 25, 50)
+    rows = []
+    for name in ("no-rep", "s-rep", *(f"n={n}" for n in REPLICA_COUNTS)):
+        row = [name] + [
+            format_percentage(replication.availability_at(curves[name], removed))
+            for removed in removals
+        ]
+        rows.append(row)
+    emit(
+        "Fig. 16 — toot availability when removing top instances (by toots)",
+        format_table(["strategy"] + [f"top {r} removed" for r in removals], rows),
+    )
+
+    at25 = {name: replication.availability_at(curve, 25) for name, curve in curves.items()}
+    # ordering: no replication < subscription replication <= random replication
+    assert at25["no-rep"] < at25["s-rep"]
+    assert at25["n=1"] >= at25["s-rep"] - 0.05
+    assert at25["n=4"] >= at25["n=1"] - 1e-9
+    # high replica counts keep nearly everything available (paper: >99%)
+    assert at25["n=7"] > 0.95

@@ -1,0 +1,50 @@
+"""Table 1 — AS-wide failures detected from correlated instance outages.
+
+Paper shape: six ASes suffer at least one outage during which every
+hosted instance is simultaneously unreachable; the largest (Sakura) takes
+out ~97 instances and millions of toots at once.
+"""
+
+from __future__ import annotations
+
+from repro.core import availability
+from repro.reporting import format_table
+
+from benchmarks.conftest import emit
+
+MIN_INSTANCES = 3  # the paper uses 8 at full (4,328-instance) scale
+
+
+def test_table1_as_failures(benchmark, data, network):
+    reports = benchmark(
+        lambda: availability.detect_as_failures(
+            data.instances, geo=network.geo, min_instances=MIN_INSTANCES
+        )
+    )
+    rows = [
+        [
+            f"AS{report.asn}",
+            report.instances,
+            report.failures,
+            report.ips,
+            report.users,
+            report.toots,
+            report.organisation,
+            report.caida_rank,
+            report.peers,
+        ]
+        for report in reports
+    ]
+    emit(
+        "Table 1 — AS failures (all co-located instances down simultaneously)",
+        format_table(
+            ["ASN", "Instances", "Failures", "IPs", "Users", "Toots", "Org.", "Rank", "Peers"],
+            rows,
+        ),
+    )
+
+    assert reports, "expected at least one AS-wide failure (the scenario injects several)"
+    assert all(report.instances >= MIN_INSTANCES for report in reports)
+    assert all(report.failures >= 1 for report in reports)
+    # the worst AS failure takes down many instances and their content at once
+    assert max(report.toots for report in reports) > 0

@@ -1,0 +1,95 @@
+"""Quickstart: build a synthetic fediverse, measure it, print the headlines.
+
+Run with::
+
+    python examples/quickstart.py [preset] [seed]
+
+``preset`` is one of ``tiny`` (default, a few seconds), ``small`` or
+``medium``.  The script walks through the same pipeline the paper used:
+generate (instead of: observe) a fediverse, poll every instance's API,
+crawl toots and follower lists, and compute the headline statistics of
+Sections 4 and 5.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import build_scenario, collect_datasets
+from repro.core import centralisation, federation_analysis, hosting
+from repro.reporting import format_percentage, format_table
+
+
+def main(preset: str = "tiny", seed: int = 7) -> None:
+    print(f"Building the '{preset}' scenario (seed={seed})...")
+    network = build_scenario(preset, seed=seed)
+    print(f"  population: {network.stats()}")
+
+    print("Running the measurement pipeline (monitor + toot crawl + graph crawl)...")
+    data = collect_datasets(network, monitor_interval_minutes=24 * 60)
+    instances = data.instances
+
+    print()
+    print(
+        format_table(
+            ["dataset", "size"],
+            [
+                ["instances monitored", len(instances)],
+                ["snapshots recorded", len(instances.log)],
+                ["unique toots crawled", len(data.toots)],
+                ["accounts in follower graph", data.graphs.user_count()],
+                ["follow edges", data.graphs.follow_edge_count()],
+                ["federation edges", data.graphs.federation_edge_count()],
+            ],
+            title="Collected datasets",
+        )
+    )
+
+    metrics = centralisation.concentration_metrics(instances)
+    split = centralisation.registration_split(instances)
+    print()
+    print(
+        format_table(
+            ["headline", "value"],
+            [
+                ["top 5% instances: user share", format_percentage(metrics["top5pct_user_share"])],
+                ["top 10% instances: user share", format_percentage(metrics["top10pct_user_share"])],
+                ["users on open-registration instances", format_percentage(split.open_user_share)],
+                ["toots per user (open)", round(split.toots_per_user_open, 1)],
+                ["toots per user (closed)", round(split.toots_per_user_closed, 1)],
+            ],
+            title="Section 4.1 — centralisation headlines",
+        )
+    )
+
+    countries = hosting.country_breakdown(instances, top=3)
+    print()
+    print(
+        format_table(
+            ["country", "instances", "users"],
+            [
+                [share.key, format_percentage(share.instance_share), format_percentage(share.user_share)]
+                for share in countries
+            ],
+            title="Section 4.3 — top hosting countries",
+        )
+    )
+
+    feeders = federation_analysis.feeder_summary(data.toots)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["instances with <10% home toots", format_percentage(feeders["share_under_10pct_home"])],
+                ["toots-vs-replication correlation", round(feeders["toots_vs_replication_correlation"], 2)],
+            ],
+            title="Section 5.2 — content federation",
+        )
+    )
+
+
+if __name__ == "__main__":
+    preset_arg = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    seed_arg = int(sys.argv[2]) if len(sys.argv) > 2 else 7
+    main(preset_arg, seed_arg)

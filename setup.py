@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (``pip install -e . --no-use-pep517``).
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs are unavailable; this file lets ``setup.py
+develop`` work instead.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,95 @@
+"""repro — a reproduction toolkit for "Challenges in the Decentralised Web:
+The Mastodon Case" (Raman et al., IMC 2019).
+
+The package is organised in layers:
+
+* :mod:`repro.fediverse` — a self-contained Mastodon/Pleroma simulator
+  (instances, users, toots, federation, hosting, certificates, outages)
+  standing in for the live network the paper measured;
+* :mod:`repro.crawler` — the measurement tooling (instance monitor, toot
+  crawler, follower-graph crawler) speaking to instances over a simulated
+  HTTP transport;
+* :mod:`repro.datasets` — the paper's three datasets plus the Twitter
+  baselines, built from crawler output;
+* :mod:`repro.core` — the analyses behind every figure and table;
+* :mod:`repro.reporting` — table/figure rendering and the experiment index.
+
+Quick start::
+
+    from repro import build_scenario, collect_datasets
+
+    network = build_scenario("small", seed=7)
+    datasets = collect_datasets(network)
+    print(datasets.instances.total_users(), "users on", len(datasets.instances), "instances")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.fediverse import FediverseNetwork, ScenarioConfig, ScenarioGenerator, build_scenario
+from repro.crawler import (
+    FollowerGraphCrawler,
+    InstanceMonitor,
+    SimulatedTransport,
+    TootCrawler,
+)
+from repro.datasets import GraphDataset, InstancesDataset, TootsDataset, TwitterBaselines
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollectedDatasets",
+    "FediverseNetwork",
+    "GraphDataset",
+    "InstancesDataset",
+    "ReproError",
+    "ScenarioConfig",
+    "ScenarioGenerator",
+    "TootsDataset",
+    "TwitterBaselines",
+    "__version__",
+    "build_scenario",
+    "collect_datasets",
+]
+
+
+@dataclass
+class CollectedDatasets:
+    """The three paper datasets collected from one simulated fediverse."""
+
+    instances: InstancesDataset
+    toots: TootsDataset
+    graphs: GraphDataset
+    network: FediverseNetwork
+
+
+def collect_datasets(
+    network: FediverseNetwork,
+    monitor_interval_minutes: int = 24 * 60,
+    crawl_threads: int = 8,
+) -> CollectedDatasets:
+    """Run the full measurement pipeline against a simulated fediverse.
+
+    This is the one-call equivalent of the paper's data collection: poll
+    every instance's API across the observation window, crawl every
+    federated timeline, scrape every follower list, and assemble the
+    datasets the analyses consume.
+
+    ``monitor_interval_minutes`` defaults to daily probes (the paper used
+    five minutes over fifteen months; the analyses only need the relative
+    resolution, and daily probing keeps the default pipeline fast).
+    """
+    transport = SimulatedTransport(network)
+    monitor = InstanceMonitor(transport, network.domains(), monitor_interval_minutes)
+    log = monitor.run()
+    instances = InstancesDataset.build(network, log)
+
+    toot_crawler = TootCrawler(transport, threads=crawl_threads)
+    toots = TootsDataset.from_crawl(toot_crawler.crawl())
+
+    graph_crawler = FollowerGraphCrawler(transport, threads=crawl_threads)
+    graphs = GraphDataset.from_crawl(graph_crawler.crawl())
+
+    return CollectedDatasets(instances=instances, toots=toots, graphs=graphs, network=network)

@@ -1,0 +1,152 @@
+"""Command-line interface for the reproduction toolkit.
+
+Four subcommands cover the common workflows::
+
+    repro-mastodon scenario     --preset small --seed 7   # population summary
+    repro-mastodon report       --preset tiny  --seed 7   # headline analyses
+    repro-mastodon export OUT/  --preset tiny  --seed 7   # anonymised JSONL dump
+    repro-mastodon experiments                             # list every table/figure
+
+The CLI is a thin wrapper over the public API (``build_scenario``,
+``collect_datasets`` and the ``repro.core`` analyses); anything it prints
+can also be produced programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro import build_scenario, collect_datasets
+from repro.core import availability, centralisation, federation_analysis, hosting
+from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
+from repro.datasets import Anonymiser, save_edges, save_snapshots, save_toot_records
+from repro.reporting import EXPERIMENTS, format_percentage, format_table
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        choices=("tiny", "small", "medium"),
+        default="tiny",
+        help="scenario size preset (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="scenario random seed (default: 7)")
+    parser.add_argument(
+        "--monitor-interval",
+        type=int,
+        default=24 * 60,
+        help="monitor probe interval in minutes (default: daily)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mastodon",
+        description="Reproduction toolkit for 'Challenges in the Decentralised Web' (IMC 2019)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser("scenario", help="generate a scenario and print its population")
+    _add_scenario_arguments(scenario)
+
+    report = subparsers.add_parser("report", help="run the measurement pipeline and print headline analyses")
+    _add_scenario_arguments(report)
+
+    export = subparsers.add_parser("export", help="export anonymised datasets as JSON lines")
+    export.add_argument("output_dir", help="directory to write the JSONL files into")
+    _add_scenario_arguments(export)
+    export.add_argument("--salt", default=None, help="anonymisation salt (random if omitted)")
+
+    subparsers.add_parser("experiments", help="list every reproducible table and figure")
+    return parser
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    network = build_scenario(args.preset, seed=args.seed)
+    stats = network.stats()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[key, value] for key, value in stats.items()],
+            title=f"Scenario '{args.preset}' (seed={args.seed})",
+        )
+    )
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    network = build_scenario(args.preset, seed=args.seed)
+    data = collect_datasets(network, monitor_interval_minutes=args.monitor_interval)
+    metrics = centralisation.concentration_metrics(data.instances)
+    downtime = availability.downtime_headlines(data.instances)
+    feeders = federation_analysis.feeder_summary(data.toots)
+    top_countries = hosting.country_breakdown(data.instances, top=3)
+    rows = [
+        ["top 10% instances: user share", format_percentage(metrics["top10pct_user_share"])],
+        ["user Gini coefficient", round(metrics["user_gini"], 2)],
+        ["top hosting country", f"{top_countries[0].key} ({format_percentage(top_countries[0].user_share)} of users)"],
+        ["top-3 AS user share", format_percentage(hosting.top_as_user_share(data.instances, top=3))],
+        ["mean instance downtime", format_percentage(downtime["mean_downtime"])],
+        ["instances >50% downtime", format_percentage(downtime["share_above_50pct_downtime"])],
+        ["instances with <10% home toots", format_percentage(feeders["share_under_10pct_home"])],
+    ]
+    print(
+        format_table(
+            ["headline", "measured"],
+            rows,
+            title=f"Headline reproduction report — '{args.preset}' scenario, seed {args.seed}",
+        )
+    )
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    output = Path(args.output_dir)
+    network = build_scenario(args.preset, seed=args.seed)
+    data = collect_datasets(network, monitor_interval_minutes=args.monitor_interval)
+    transport = SimulatedTransport(network)
+    toot_crawl = TootCrawler(transport, threads=4).crawl()
+    graph_crawl = FollowerGraphCrawler(transport, threads=4).crawl()
+
+    anonymiser = Anonymiser(salt=args.salt)
+    snapshots = save_snapshots(output / "instance_snapshots.jsonl", data.instances.log)
+    toots = save_toot_records(
+        output / "toots.jsonl", anonymiser.anonymise_toots(toot_crawl.all_records())
+    )
+    edges = save_edges(output / "follower_edges.jsonl", anonymiser.anonymise_edges(graph_crawl.edges))
+    print(f"wrote {snapshots} snapshots, {toots} toot records, {edges} follower edges to {output}/")
+    print(f"anonymisation salt: {anonymiser.salt}")
+    return 0
+
+
+def _command_experiments() -> int:
+    rows = [
+        [experiment.experiment_id, experiment.title, experiment.benchmark]
+        for experiment in EXPERIMENTS.values()
+    ]
+    print(format_table(["id", "title", "benchmark"], rows, title="Reproducible experiments"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-mastodon`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "scenario":
+        return _command_scenario(args)
+    if args.command == "report":
+        return _command_report(args)
+    if args.command == "export":
+        return _command_export(args)
+    if args.command == "experiments":
+        return _command_experiments()
+    parser.error(f"unknown command: {args.command}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

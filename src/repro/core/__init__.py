@@ -1,0 +1,37 @@
+"""The paper's analyses: instance characterisation, federation resilience.
+
+Each module maps to a slice of the evaluation:
+
+* :mod:`repro.core.growth` — Fig. 1 (instances/users/toots over time);
+* :mod:`repro.core.centralisation` — Fig. 2 and the Section 4.1 headline
+  concentration numbers;
+* :mod:`repro.core.categories` — Figs. 3 and 4 (categories, activities);
+* :mod:`repro.core.hosting` — Figs. 5 and 6 (countries, ASes, flows);
+* :mod:`repro.core.availability` — Figs. 7-10 and Table 1;
+* :mod:`repro.core.resilience` — Figs. 11-13 (graph removal attacks);
+* :mod:`repro.core.federation_analysis` — Fig. 14 and Table 2;
+* :mod:`repro.core.replication` — Figs. 15 and 16 (toot availability
+  under replication strategies).
+"""
+
+from repro.core import (  # noqa: F401
+    availability,
+    categories,
+    centralisation,
+    federation_analysis,
+    growth,
+    hosting,
+    replication,
+    resilience,
+)
+
+__all__ = [
+    "availability",
+    "categories",
+    "centralisation",
+    "federation_analysis",
+    "growth",
+    "hosting",
+    "replication",
+    "resilience",
+]

@@ -1,0 +1,405 @@
+"""Instance availability analysis (Section 4.4: Figs. 7-10, Table 1).
+
+Works entirely from the monitored snapshot series (plus the certificate
+registry for Fig. 9), mirroring how the paper derives downtime, outage
+durations, certificate-expiry incidents and AS-wide failures from the
+mnm.social probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.datasets.instances import InstancesDataset, OutageInterval
+from repro.fediverse.certificates import CertificateRegistry
+from repro.fediverse.geo import GeoDatabase
+from repro.simtime import MINUTES_PER_DAY
+from repro.stats.distributions import ECDF
+from repro.stats.summary import BoxplotStats, boxplot_stats, pearson_correlation
+
+#: Toot-count bin edges used by Fig. 8 in the paper (absolute scale).
+PAPER_TOOT_BINS: tuple[int, ...] = (10_000, 100_000, 1_000_000)
+
+
+def persistently_failed_domains(dataset: InstancesDataset) -> list[str]:
+    """Domains that went offline during the window and never came back.
+
+    The paper excludes these from outage statistics (21.3% of instances
+    never returned) while still counting them in the churn discussion.
+    """
+    failed: list[str] = []
+    for domain in dataset.domains():
+        snapshots = dataset.existing_snapshots(domain)
+        if not snapshots:
+            failed.append(domain)
+            continue
+        went_down_for_good = False
+        for snapshot in reversed(snapshots):
+            if snapshot.online:
+                break
+            went_down_for_good = True
+        else:
+            went_down_for_good = True
+        # "never came back": the final run of offline probes spans at least a week.
+        if went_down_for_good:
+            offline_run = 0
+            for snapshot in reversed(snapshots):
+                if snapshot.online:
+                    break
+                offline_run += 1
+            if offline_run * dataset.log.interval_minutes >= 7 * MINUTES_PER_DAY:
+                failed.append(domain)
+    return failed
+
+
+def downtime_cdf(
+    dataset: InstancesDataset, exclude_persistent: bool = True
+) -> ECDF:
+    """ECDF of per-instance downtime fractions (Fig. 7, blue curve)."""
+    excluded = set(persistently_failed_domains(dataset)) if exclude_persistent else set()
+    sample = [
+        dataset.downtime_fraction(domain)
+        for domain in dataset.domains()
+        if domain not in excluded
+    ]
+    if not sample:
+        raise AnalysisError("no instances left after excluding persistent failures")
+    return ECDF(sample)
+
+
+def downtime_headlines(dataset: InstancesDataset) -> dict[str, float]:
+    """Headline downtime statistics quoted in Section 4.4."""
+    cdf = downtime_cdf(dataset)
+    fractions = list(cdf.values)
+    return {
+        "share_below_5pct_downtime": cdf.evaluate(0.05),
+        "share_above_50pct_downtime": 1.0 - cdf.evaluate(0.5),
+        "share_above_99_5pct_uptime": cdf.evaluate(0.005),
+        "mean_downtime": float(np.mean(fractions)),
+        "median_downtime": float(np.median(fractions)),
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class UnavailabilityImpact:
+    """Users/toots/boosts rendered unavailable when an instance fails."""
+
+    domain: str
+    users: int
+    toots: int
+    boosts: int
+
+
+def unavailability_impact(
+    dataset: InstancesDataset,
+    boosts_per_instance: dict[str, int] | None = None,
+    exclude_persistent: bool = True,
+) -> list[UnavailabilityImpact]:
+    """Per-instance impact of failures (Fig. 7, red curves).
+
+    For every instance that experienced at least one outage, report the
+    users, toots (and, when supplied, boosts) that become unreachable
+    while it is down.
+    """
+    users = dataset.users_per_instance()
+    toots = dataset.toots_per_instance()
+    boosts_per_instance = boosts_per_instance or {}
+    excluded = set(persistently_failed_domains(dataset)) if exclude_persistent else set()
+    impacts = []
+    for domain in dataset.domains():
+        if domain in excluded:
+            continue
+        if not dataset.outage_intervals(domain):
+            continue
+        impacts.append(
+            UnavailabilityImpact(
+                domain=domain,
+                users=users.get(domain, 0),
+                toots=toots.get(domain, 0),
+                boosts=boosts_per_instance.get(domain, 0),
+            )
+        )
+    return impacts
+
+
+@dataclass(frozen=True, slots=True)
+class DowntimeBin:
+    """Per-day downtime statistics for one popularity bin (Fig. 8)."""
+
+    label: str
+    instance_count: int
+    stats: BoxplotStats
+
+
+def daily_downtime_by_popularity(
+    dataset: InstancesDataset,
+    bin_edges: Sequence[int] = PAPER_TOOT_BINS,
+    exclude_persistent: bool = True,
+) -> list[DowntimeBin]:
+    """Per-day downtime distributions binned by instance toot count (Fig. 8).
+
+    ``bin_edges`` are the toot-count boundaries; the paper uses
+    ``(10K, 100K, 1M)``.  At reduced simulation scale, pass scaled edges
+    (see :func:`scaled_toot_bins`).
+    """
+    if not bin_edges or list(bin_edges) != sorted(bin_edges):
+        raise AnalysisError("bin edges must be a sorted, non-empty sequence")
+    toots = dataset.toots_per_instance()
+    excluded = set(persistently_failed_domains(dataset)) if exclude_persistent else set()
+
+    labels = [f"<{bin_edges[0]}"]
+    labels += [f"{bin_edges[i]}-{bin_edges[i + 1]}" for i in range(len(bin_edges) - 1)]
+    labels += [f">{bin_edges[-1]}"]
+
+    samples: dict[str, list[float]] = {label: [] for label in labels}
+    members: dict[str, int] = {label: 0 for label in labels}
+    for domain in dataset.domains():
+        if domain in excluded:
+            continue
+        count = toots.get(domain, 0)
+        position = int(np.searchsorted(bin_edges, count, side="right"))
+        label = labels[position]
+        members[label] += 1
+        samples[label].extend(dataset.daily_downtime(domain).values())
+
+    bins: list[DowntimeBin] = []
+    for label in labels:
+        if not samples[label]:
+            continue
+        bins.append(
+            DowntimeBin(label=label, instance_count=members[label], stats=boxplot_stats(samples[label]))
+        )
+    if not bins:
+        raise AnalysisError("no per-day downtime observations available")
+    return bins
+
+
+def scaled_toot_bins(dataset: InstancesDataset) -> tuple[int, ...]:
+    """Toot-count bin edges proportional to the paper's, at dataset scale.
+
+    The paper's edges split a 67M-toot population at 10K/100K/1M; this
+    returns edges with the same relative position for the current
+    (smaller) population so that Fig. 8's bins stay meaningful.
+    """
+    total = dataset.total_toots()
+    if total <= 0:
+        raise AnalysisError("the dataset reports zero toots")
+    factor = total / 67_000_000
+    return tuple(max(10, int(edge * factor)) for edge in PAPER_TOOT_BINS)
+
+
+def popularity_downtime_correlation(dataset: InstancesDataset) -> float:
+    """Correlation between instance toot count and downtime (paper: -0.04)."""
+    toots = dataset.toots_per_instance()
+    xs, ys = [], []
+    excluded = set(persistently_failed_domains(dataset))
+    for domain in dataset.domains():
+        if domain in excluded:
+            continue
+        xs.append(toots.get(domain, 0))
+        ys.append(dataset.downtime_fraction(domain))
+    if len(xs) < 2:
+        raise AnalysisError("not enough instances for a correlation")
+    return pearson_correlation(xs, ys)
+
+
+def twitter_downtime_comparison(
+    dataset: InstancesDataset, twitter_daily_downtime: Iterable[float]
+) -> dict[str, float]:
+    """Mean daily downtime of Mastodon vs the Twitter-2007 baseline (Fig. 8)."""
+    mastodon_days: list[float] = []
+    excluded = set(persistently_failed_domains(dataset))
+    for domain in dataset.domains():
+        if domain in excluded:
+            continue
+        mastodon_days.extend(dataset.daily_downtime(domain).values())
+    twitter = [float(v) for v in twitter_daily_downtime]
+    if not mastodon_days or not twitter:
+        raise AnalysisError("need non-empty downtime series for both systems")
+    return {
+        "mastodon_mean_downtime": float(np.mean(mastodon_days)),
+        "twitter_mean_downtime": float(np.mean(twitter)),
+        "ratio": float(np.mean(mastodon_days) / max(np.mean(twitter), 1e-9)),
+    }
+
+
+# -- outage durations (Fig. 10) ------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class OutageDurationReport:
+    """Continuous-outage durations and the users/toots they affect."""
+
+    durations_days: list[float]
+    affected_users: int
+    affected_toots: int
+    share_of_instances_down_at_least_once: float
+    share_down_at_least_one_day: float
+
+
+def outage_durations(dataset: InstancesDataset, min_days: float = 1.0) -> OutageDurationReport:
+    """Distribution of continuous outages of at least ``min_days`` (Fig. 10)."""
+    users = dataset.users_per_instance()
+    toots = dataset.toots_per_instance()
+    excluded = set(persistently_failed_domains(dataset))
+    durations: list[float] = []
+    affected_users = 0
+    affected_toots = 0
+    down_once = 0
+    down_one_day = 0
+    considered = 0
+    for domain in dataset.domains():
+        if domain in excluded:
+            continue
+        considered += 1
+        intervals = dataset.outage_intervals(domain)
+        if intervals:
+            down_once += 1
+        long_outages = [i for i in intervals if i.duration_days >= min_days]
+        if long_outages:
+            down_one_day += 1
+            affected_users += users.get(domain, 0)
+            affected_toots += toots.get(domain, 0)
+            durations.extend(i.duration_days for i in long_outages)
+    if considered == 0:
+        raise AnalysisError("no instances to analyse")
+    return OutageDurationReport(
+        durations_days=sorted(durations),
+        affected_users=affected_users,
+        affected_toots=affected_toots,
+        share_of_instances_down_at_least_once=down_once / considered,
+        share_down_at_least_one_day=down_one_day / considered,
+    )
+
+
+# -- certificates (Fig. 9) --------------------------------------------------------
+
+
+def certificate_footprint(dataset: InstancesDataset) -> dict[str, float]:
+    """Share of instances per certificate authority (Fig. 9a)."""
+    counts: dict[str, int] = {}
+    known = 0
+    for domain in dataset.domains():
+        authority = dataset.metadata_for(domain).certificate_authority
+        if not authority:
+            continue
+        known += 1
+        counts[authority] = counts.get(authority, 0) + 1
+    if known == 0:
+        raise AnalysisError("no certificate information in the dataset")
+    return {authority: count / known for authority, count in sorted(counts.items(), key=lambda kv: -kv[1])}
+
+
+def certificate_expiry_outages(
+    registry: CertificateRegistry, window_days: int
+) -> dict[int, int]:
+    """Number of instances with a lapsed certificate on each day (Fig. 9b)."""
+    if window_days <= 0:
+        raise AnalysisError("the observation window must be positive")
+    series: dict[int, int] = {}
+    for day in range(window_days):
+        series[day] = len(registry.expired_domains_on_day(day))
+    return series
+
+
+def certificate_outage_share(
+    dataset: InstancesDataset, registry: CertificateRegistry
+) -> float:
+    """Fraction of observed outages attributable to expired certificates.
+
+    An outage interval is attributed to the certificate when the domain
+    had no valid certificate at the midpoint of the interval (paper: 6.3%
+    of outages).
+    """
+    total = 0
+    certificate_caused = 0
+    for domain in dataset.domains():
+        for interval in dataset.outage_intervals(domain):
+            total += 1
+            midpoint = (interval.start_minute + interval.end_minute) // 2
+            if registry.is_lapsed(domain, midpoint):
+                certificate_caused += 1
+    if total == 0:
+        raise AnalysisError("no outages observed")
+    return certificate_caused / total
+
+
+# -- AS failures (Table 1) -----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ASFailureReport:
+    """One row of Table 1: an AS whose hosted instances all failed together."""
+
+    asn: int
+    organisation: str
+    instances: int
+    failures: int
+    ips: int
+    users: int
+    toots: int
+    caida_rank: int
+    peers: int
+
+
+def detect_as_failures(
+    dataset: InstancesDataset,
+    geo: GeoDatabase | None = None,
+    min_instances: int = 8,
+) -> list[ASFailureReport]:
+    """Detect AS-wide outages from correlated instance unavailability (Table 1).
+
+    A probe minute counts as an AS failure when *every* monitored instance
+    hosted in the AS is simultaneously offline; consecutive failing probes
+    are merged into one failure event.  Only ASes hosting at least
+    ``min_instances`` instances are considered, as in the paper.
+    """
+    users = dataset.users_per_instance()
+    toots = dataset.toots_per_instance()
+    reports: list[ASFailureReport] = []
+    for asn, domains in sorted(dataset.by_asn().items()):
+        if asn == 0 or len(domains) < min_instances:
+            continue
+        status_by_minute: dict[int, list[bool]] = {}
+        for domain in domains:
+            for snapshot in dataset.existing_snapshots(domain):
+                status_by_minute.setdefault(snapshot.minute, []).append(snapshot.online)
+        failure_minutes = sorted(
+            minute
+            for minute, statuses in status_by_minute.items()
+            if len(statuses) == len(domains) and not any(statuses)
+        )
+        if not failure_minutes:
+            continue
+        failures = 1
+        for previous, current in zip(failure_minutes, failure_minutes[1:]):
+            if current - previous > dataset.log.interval_minutes:
+                failures += 1
+        organisation = dataset.as_name(asn)
+        caida_rank = 0
+        peers = 0
+        if geo is not None and geo.has_autonomous_system(asn):
+            autonomous_system = geo.autonomous_system(asn)
+            organisation = autonomous_system.name
+            caida_rank = autonomous_system.caida_rank
+            peers = autonomous_system.peers
+        ips = len({dataset.metadata_for(d).ip_address for d in domains if dataset.metadata_for(d).ip_address})
+        reports.append(
+            ASFailureReport(
+                asn=asn,
+                organisation=organisation,
+                instances=len(domains),
+                failures=failures,
+                ips=ips,
+                users=sum(users[d] for d in domains),
+                toots=sum(toots[d] for d in domains),
+                caida_rank=caida_rank,
+                peers=peers,
+            )
+        )
+    reports.sort(key=lambda report: report.instances, reverse=True)
+    return reports

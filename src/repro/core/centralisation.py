@@ -1,0 +1,173 @@
+"""Concentration of users and toots across instances (Section 4.1, Fig. 2).
+
+The paper's core observation is that, despite decentralisation, users and
+content concentrate on a handful of instances: the top 5% of instances
+hold ~90% of users and ~95% of toots, open instances are far larger than
+closed ones, yet closed instances have more active and more prolific
+users per capita.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.datasets.instances import InstancesDataset
+from repro.stats.distributions import ECDF, pareto_share
+from repro.stats.summary import gini_coefficient
+
+
+@dataclass(frozen=True, slots=True)
+class RegistrationSplit:
+    """Instance/user/toot shares of open vs closed instances (Fig. 2b)."""
+
+    open_instances: int
+    closed_instances: int
+    open_users: int
+    closed_users: int
+    open_toots: int
+    closed_toots: int
+
+    @property
+    def open_instance_share(self) -> float:
+        """Fraction of instances with open registrations."""
+        total = self.open_instances + self.closed_instances
+        return self.open_instances / total if total else 0.0
+
+    @property
+    def open_user_share(self) -> float:
+        """Fraction of users registered on open instances."""
+        total = self.open_users + self.closed_users
+        return self.open_users / total if total else 0.0
+
+    @property
+    def open_toot_share(self) -> float:
+        """Fraction of toots hosted on open instances."""
+        total = self.open_toots + self.closed_toots
+        return self.open_toots / total if total else 0.0
+
+    @property
+    def mean_users_open(self) -> float:
+        """Mean user count of open instances."""
+        return self.open_users / self.open_instances if self.open_instances else 0.0
+
+    @property
+    def mean_users_closed(self) -> float:
+        """Mean user count of closed instances."""
+        return self.closed_users / self.closed_instances if self.closed_instances else 0.0
+
+    @property
+    def toots_per_user_open(self) -> float:
+        """Per-capita toot count on open instances."""
+        return self.open_toots / self.open_users if self.open_users else 0.0
+
+    @property
+    def toots_per_user_closed(self) -> float:
+        """Per-capita toot count on closed instances."""
+        return self.closed_toots / self.closed_users if self.closed_users else 0.0
+
+
+def registration_split(dataset: InstancesDataset) -> RegistrationSplit:
+    """Compute the open/closed breakdown of instances, users and toots."""
+    users = dataset.users_per_instance()
+    toots = dataset.toots_per_instance()
+    open_domains = set(dataset.open_domains())
+    closed_domains = set(dataset.closed_domains())
+    if not open_domains and not closed_domains:
+        raise AnalysisError("the dataset contains no instances")
+    return RegistrationSplit(
+        open_instances=len(open_domains),
+        closed_instances=len(closed_domains),
+        open_users=sum(users[d] for d in open_domains),
+        closed_users=sum(users[d] for d in closed_domains),
+        open_toots=sum(toots[d] for d in open_domains),
+        closed_toots=sum(toots[d] for d in closed_domains),
+    )
+
+
+def per_instance_count_cdfs(dataset: InstancesDataset) -> dict[str, ECDF]:
+    """CDFs of users and toots per instance, split by registration (Fig. 2a).
+
+    Returns four ECDFs keyed ``users_open``, ``users_closed``,
+    ``toots_open``, ``toots_closed``.  Zero-count instances are kept (they
+    contribute the left edge of the CDF), but at least one positive value
+    is required per group.
+    """
+    users = dataset.users_per_instance()
+    toots = dataset.toots_per_instance()
+    open_domains = dataset.open_domains()
+    closed_domains = dataset.closed_domains()
+    cdfs: dict[str, ECDF] = {}
+    for label, domains, counts in (
+        ("users_open", open_domains, users),
+        ("users_closed", closed_domains, users),
+        ("toots_open", open_domains, toots),
+        ("toots_closed", closed_domains, toots),
+    ):
+        sample = [counts[d] for d in domains]
+        if sample:
+            cdfs[label] = ECDF(sample)
+    if not cdfs:
+        raise AnalysisError("no instances to build per-instance CDFs from")
+    return cdfs
+
+
+def activity_level_cdfs(dataset: InstancesDataset) -> dict[str, ECDF]:
+    """CDFs of per-instance activity levels, overall and by registration (Fig. 2c)."""
+    all_levels = []
+    open_levels = []
+    closed_levels = []
+    open_domains = set(dataset.open_domains())
+    for domain in dataset.domains():
+        level = dataset.activity_level(domain)
+        all_levels.append(level)
+        if domain in open_domains:
+            open_levels.append(level)
+        else:
+            closed_levels.append(level)
+    cdfs = {"all": ECDF(all_levels)}
+    if open_levels:
+        cdfs["open"] = ECDF(open_levels)
+    if closed_levels:
+        cdfs["closed"] = ECDF(closed_levels)
+    return cdfs
+
+
+def concentration_metrics(dataset: InstancesDataset) -> dict[str, float]:
+    """Headline concentration numbers of Section 4.1.
+
+    Includes the user/toot share of the top 5% and top 10% of instances,
+    and the Gini coefficients of both allocations.
+    """
+    users = list(dataset.users_per_instance().values())
+    toots = list(dataset.toots_per_instance().values())
+    if not users:
+        raise AnalysisError("the dataset contains no instances")
+    return {
+        "top5pct_user_share": pareto_share(users, 0.05),
+        "top10pct_user_share": pareto_share(users, 0.10),
+        "top5pct_toot_share": pareto_share(toots, 0.05),
+        "top10pct_toot_share": pareto_share(toots, 0.10),
+        "user_gini": gini_coefficient(users),
+        "toot_gini": gini_coefficient(toots),
+    }
+
+
+def smallest_fraction_hosting_share(dataset: InstancesDataset, share: float = 0.5) -> float:
+    """Smallest fraction of instances that together host ``share`` of users.
+
+    The paper phrases this as "10% of instances host almost half of the
+    users"; this helper answers the inverse question directly.
+    """
+    if not 0.0 < share <= 1.0:
+        raise AnalysisError("share must be in (0, 1]")
+    users = sorted(dataset.users_per_instance().values(), reverse=True)
+    total = sum(users)
+    if total == 0:
+        raise AnalysisError("the dataset reports zero users")
+    running = 0
+    for count, value in enumerate(users, start=1):
+        running += value
+        if running >= share * total:
+            return count / len(users)
+    return 1.0

@@ -1,0 +1,66 @@
+"""Growth of the instance/user/toot population over time (Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.instances import InstancesDataset
+from repro.simtime import MINUTES_PER_DAY
+
+
+@dataclass(frozen=True, slots=True)
+class GrowthPoint:
+    """Population counts at one point of the observation window."""
+
+    day: int
+    instances: int
+    users: int
+    toots: int
+
+
+def growth_timeseries(dataset: InstancesDataset) -> list[GrowthPoint]:
+    """Daily instance/user/toot counts across the observation window.
+
+    The monitor may probe much more often than daily; this keeps the last
+    probe of each day, which is how the paper's Fig. 1 downsamples the
+    five-minute snapshots.
+    """
+    per_day: dict[int, GrowthPoint] = {}
+    for row in dataset.growth_series():
+        day = row["minute"] // MINUTES_PER_DAY
+        per_day[day] = GrowthPoint(
+            day=day,
+            instances=row["instances"],
+            users=row["users"],
+            toots=row["toots"],
+        )
+    return [per_day[day] for day in sorted(per_day)]
+
+
+def growth_summary(dataset: InstancesDataset) -> dict[str, float]:
+    """Headline growth numbers comparable with Section 4.1.
+
+    Returns the relative growth of instances and users over the first and
+    second halves of the window, plus the final population counts.
+    """
+    series = growth_timeseries(dataset)
+    if not series:
+        return {"instances": 0, "users": 0, "toots": 0}
+    first = series[0]
+    midpoint = series[len(series) // 2]
+    last = series[-1]
+
+    def _growth(before: int, after: int) -> float:
+        if before == 0:
+            return 0.0
+        return (after - before) / before
+
+    return {
+        "final_instances": float(last.instances),
+        "final_users": float(last.users),
+        "final_toots": float(last.toots),
+        "instance_growth_first_half": _growth(first.instances, midpoint.instances),
+        "instance_growth_second_half": _growth(midpoint.instances, last.instances),
+        "user_growth_first_half": _growth(first.users, midpoint.users),
+        "user_growth_second_half": _growth(midpoint.users, last.users),
+    }

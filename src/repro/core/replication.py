@@ -1,0 +1,219 @@
+"""Toot replication strategies and content availability (Figs. 15-16).
+
+The paper asks how many toots survive instance or AS failures under three
+placement strategies:
+
+* **no replication** — every toot lives only on its home instance;
+* **subscription replication** — a toot is also stored (and globally
+  indexed) on every instance hosting a follower of its author, i.e. the
+  instances that already receive it through federation;
+* **random replication** — a toot is copied onto ``n`` random instances.
+
+A toot is considered available as long as at least one instance holding a
+copy is still up (the paper assumes a global index such as a DHT to find
+replicas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.datasets.graphs import GraphDataset
+from repro.datasets.toots import TootsDataset
+
+
+@dataclass
+class PlacementMap:
+    """For every toot (by URL), the set of instances holding a copy."""
+
+    strategy: str
+    placements: dict[str, frozenset[str]]
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    def replica_counts(self) -> list[int]:
+        """Number of copies *beyond the home instance* for every toot."""
+        return [max(0, len(holders) - 1) for holders in self.placements.values()]
+
+    def replication_summary(self) -> dict[str, float]:
+        """Share of toots with no replica and with more than ten replicas.
+
+        The paper reports that under subscription replication 9.7% of
+        toots have no replica while 23% have more than ten.
+        """
+        counts = self.replica_counts()
+        if not counts:
+            raise AnalysisError("the placement map is empty")
+        return {
+            "mean_replicas": float(np.mean(counts)),
+            "share_without_replica": sum(1 for c in counts if c == 0) / len(counts),
+            "share_with_more_than_10": sum(1 for c in counts if c > 10) / len(counts),
+        }
+
+
+def no_replication(toots: TootsDataset) -> PlacementMap:
+    """Each toot is stored only on its author's home instance."""
+    placements = {
+        record.url: frozenset({record.author_domain}) for record in toots.records()
+    }
+    return PlacementMap(strategy="no-replication", placements=placements)
+
+
+def subscription_replication(toots: TootsDataset, graphs: GraphDataset) -> PlacementMap:
+    """Each toot is replicated to the instances hosting the author's followers."""
+    follower_domains: dict[str, frozenset[str]] = {}
+    follower_graph = graphs.follower_graph
+    placements: dict[str, frozenset[str]] = {}
+    for record in toots.records():
+        author = record.account
+        if author not in follower_domains:
+            domains: set[str] = set()
+            if follower_graph.has_node(author):
+                for follower, _ in follower_graph.in_edges(author):
+                    domain = follower_graph.nodes[follower].get("domain")
+                    if domain:
+                        domains.add(domain)
+            follower_domains[author] = frozenset(domains)
+        placements[record.url] = frozenset({record.author_domain}) | follower_domains[author]
+    return PlacementMap(strategy="subscription-replication", placements=placements)
+
+
+def random_replication(
+    toots: TootsDataset,
+    candidate_domains: Sequence[str],
+    n_replicas: int,
+    seed: int = 0,
+    weights: Mapping[str, float] | None = None,
+) -> PlacementMap:
+    """Each toot is replicated onto ``n_replicas`` random instances.
+
+    ``weights`` optionally biases the replica placement (e.g. towards
+    instances with more storage capacity) — the resource-weighted variant
+    discussed at the end of Section 5.2.
+    """
+    if n_replicas < 0:
+        raise AnalysisError("the number of replicas cannot be negative")
+    candidates = sorted(set(candidate_domains))
+    if not candidates:
+        raise AnalysisError("no candidate instances to replicate onto")
+    rng = np.random.default_rng(seed)
+    probabilities: np.ndarray | None = None
+    if weights is not None:
+        raw = np.asarray([max(0.0, float(weights.get(d, 0.0))) for d in candidates], dtype=float)
+        if raw.sum() <= 0:
+            raise AnalysisError("replication weights must contain positive mass")
+        probabilities = raw / raw.sum()
+
+    placements: dict[str, frozenset[str]] = {}
+    k = min(n_replicas, len(candidates))
+    for record in toots.records():
+        if k == 0:
+            placements[record.url] = frozenset({record.author_domain})
+            continue
+        picks = rng.choice(len(candidates), size=k, replace=False, p=probabilities)
+        replicas = {candidates[int(i)] for i in picks}
+        placements[record.url] = frozenset({record.author_domain}) | replicas
+    label = f"random-replication-n{n_replicas}"
+    if weights is not None:
+        label += "-weighted"
+    return PlacementMap(strategy=label, placements=placements)
+
+
+# -- availability under failures -------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AvailabilityPoint:
+    """Toot availability after removing the top-N entities."""
+
+    removed: int
+    availability: float
+
+
+def _availability_curve(
+    placements: PlacementMap,
+    removal_index: Mapping[str, int],
+    steps: int,
+) -> list[AvailabilityPoint]:
+    """Compute the availability curve given per-domain removal steps.
+
+    ``removal_index[d] = k`` means domain ``d`` disappears at step ``k``
+    (1-based); domains absent from the mapping never disappear.  A toot
+    becomes unavailable at the step when its *last* holding domain is
+    removed.
+    """
+    total = len(placements.placements)
+    if total == 0:
+        raise AnalysisError("the placement map is empty")
+    losses_at_step = np.zeros(steps + 1, dtype=int)
+    for holders in placements.placements.values():
+        kill_step = 0
+        for domain in holders:
+            index = removal_index.get(domain)
+            if index is None or index > steps:
+                kill_step = None
+                break
+            kill_step = max(kill_step, index)
+        if kill_step is not None and kill_step > 0:
+            losses_at_step[kill_step] += 1
+    curve: list[AvailabilityPoint] = []
+    lost = 0
+    for step in range(steps + 1):
+        lost += int(losses_at_step[step])
+        curve.append(AvailabilityPoint(removed=step, availability=1.0 - lost / total))
+    return curve
+
+
+def availability_under_instance_removal(
+    placements: PlacementMap,
+    instance_ranking: Sequence[str],
+    steps: int = 100,
+) -> list[AvailabilityPoint]:
+    """Toot availability while removing the top-N instances (Figs. 15b/d, 16)."""
+    if steps < 1:
+        raise AnalysisError("steps must be positive")
+    ranking = list(instance_ranking)[:steps]
+    removal_index = {domain: i + 1 for i, domain in enumerate(ranking)}
+    return _availability_curve(placements, removal_index, len(ranking))
+
+
+def availability_under_as_removal(
+    placements: PlacementMap,
+    asn_of_instance: Mapping[str, int],
+    as_ranking: Sequence[int],
+    steps: int = 25,
+) -> list[AvailabilityPoint]:
+    """Toot availability while removing the top-N ASes (Figs. 15a/c, 16)."""
+    if steps < 1:
+        raise AnalysisError("steps must be positive")
+    ranking = list(as_ranking)[:steps]
+    as_index = {asn: i + 1 for i, asn in enumerate(ranking)}
+    removal_index = {
+        domain: as_index[asn]
+        for domain, asn in asn_of_instance.items()
+        if asn in as_index
+    }
+    return _availability_curve(placements, removal_index, len(ranking))
+
+
+def availability_at(curve: Iterable[AvailabilityPoint], removed: int) -> float:
+    """Availability after exactly ``removed`` removals (convenience accessor)."""
+    best = None
+    for point in curve:
+        if point.removed <= removed:
+            best = point
+    if best is None:
+        raise AnalysisError("the availability curve is empty")
+    return best.availability
+
+
+def compare_strategies(
+    curves: Mapping[str, Sequence[AvailabilityPoint]], removed: int
+) -> dict[str, float]:
+    """Availability of every strategy after ``removed`` removals (Fig. 16)."""
+    return {name: availability_at(curve, removed) for name, curve in curves.items()}

@@ -1,0 +1,36 @@
+"""Measurement tooling: the crawlers the paper used, re-implemented.
+
+The package provides the three collectors behind the paper's datasets:
+
+* :class:`~repro.crawler.monitor.InstanceMonitor` — the mnm.social-style
+  poller producing five-minute instance snapshots;
+* :class:`~repro.crawler.toot_crawler.TootCrawler` — the multi-threaded
+  federated-timeline crawler producing the toots dataset;
+* :class:`~repro.crawler.graph_crawler.FollowerGraphCrawler` — the
+  follower-page scraper producing the follower/federation graphs.
+
+All of them speak to instances exclusively through
+:class:`~repro.crawler.http.SimulatedTransport`, which exposes the same
+URL surface a real deployment would.
+"""
+
+from repro.crawler.http import HTTPResponse, SimulatedTransport, toot_to_payload
+from repro.crawler.monitor import InstanceMonitor, InstanceSnapshot, MonitoringLog
+from repro.crawler.scheduler import CrawlScheduler, RateLimiter
+from repro.crawler.toot_crawler import TootCrawler, TootRecord
+from repro.crawler.graph_crawler import FollowerGraphCrawler, FollowEdgeRecord
+
+__all__ = [
+    "CrawlScheduler",
+    "FollowEdgeRecord",
+    "FollowerGraphCrawler",
+    "HTTPResponse",
+    "InstanceMonitor",
+    "InstanceSnapshot",
+    "MonitoringLog",
+    "RateLimiter",
+    "SimulatedTransport",
+    "TootCrawler",
+    "TootRecord",
+    "toot_to_payload",
+]

@@ -1,0 +1,135 @@
+"""The instance monitor: an offline reimplementation of mnm.social.
+
+Every five minutes, mnm.social fetched ``/api/v1/instance`` from every
+known instance and recorded the returned metadata together with whether
+the instance was reachable.  :class:`InstanceMonitor` does exactly that
+against the simulated transport, producing the snapshot stream the
+instances dataset is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError, HTTPError
+from repro.crawler.http import SimulatedTransport
+from repro.simtime import DEFAULT_PROBE_INTERVAL_MINUTES, MINUTES_PER_DAY
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceSnapshot:
+    """One probe of one instance at one point in time."""
+
+    domain: str
+    minute: int
+    online: bool
+    user_count: int = 0
+    toot_count: int = 0
+    domain_count: int = 0
+    registrations_open: bool | None = None
+    logins_week: int = 0
+    software: str = ""
+    version: str = ""
+    exists: bool = True
+
+    @property
+    def day(self) -> int:
+        """Zero-based day index of the probe."""
+        return self.minute // MINUTES_PER_DAY
+
+
+@dataclass
+class MonitoringLog:
+    """The full snapshot stream produced by a monitoring run."""
+
+    interval_minutes: int
+    snapshots: list[InstanceSnapshot] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[InstanceSnapshot]:
+        return iter(self.snapshots)
+
+    def extend(self, snapshots: Iterable[InstanceSnapshot]) -> None:
+        """Append snapshots to the log."""
+        self.snapshots.extend(snapshots)
+
+    def domains(self) -> list[str]:
+        """Return every domain that appears in the log, sorted."""
+        return sorted({snapshot.domain for snapshot in self.snapshots})
+
+    def for_domain(self, domain: str) -> list[InstanceSnapshot]:
+        """Return the snapshots of one domain in chronological order."""
+        selected = [s for s in self.snapshots if s.domain == domain]
+        selected.sort(key=lambda s: s.minute)
+        return selected
+
+    def probe_minutes(self) -> list[int]:
+        """Return the distinct probe times, sorted."""
+        return sorted({snapshot.minute for snapshot in self.snapshots})
+
+
+class InstanceMonitor:
+    """Polls the instance API of a list of domains on a fixed interval."""
+
+    def __init__(
+        self,
+        transport: SimulatedTransport,
+        domains: Iterable[str],
+        interval_minutes: int = DEFAULT_PROBE_INTERVAL_MINUTES,
+    ) -> None:
+        if interval_minutes <= 0:
+            raise ConfigurationError("the probe interval must be positive")
+        self._transport = transport
+        self.domains = sorted(set(domains))
+        if not self.domains:
+            raise ConfigurationError("the monitor needs at least one domain to probe")
+        self.interval_minutes = interval_minutes
+
+    def probe(self, domain: str, minute: int) -> InstanceSnapshot:
+        """Probe a single instance once."""
+        url = f"https://{domain}/api/v1/instance"
+        try:
+            response = self._transport.get(url, at_minute=minute)
+        except HTTPError as error:
+            return InstanceSnapshot(
+                domain=domain,
+                minute=minute,
+                online=False,
+                exists=error.status != 404,
+            )
+        payload = response.payload
+        stats = payload.get("stats", {})
+        return InstanceSnapshot(
+            domain=domain,
+            minute=minute,
+            online=True,
+            user_count=int(stats.get("user_count", 0)),
+            toot_count=int(stats.get("status_count", 0)),
+            domain_count=int(stats.get("domain_count", 0)),
+            registrations_open=bool(payload.get("registrations", False)),
+            logins_week=int(payload.get("logins_week", 0)),
+            software=str(payload.get("software", "")),
+            version=str(payload.get("version", "")),
+        )
+
+    def poll(self, minute: int) -> list[InstanceSnapshot]:
+        """Probe every monitored domain once at ``minute``."""
+        return [self.probe(domain, minute) for domain in self.domains]
+
+    def run(self, start_minute: int = 0, end_minute: int | None = None) -> MonitoringLog:
+        """Poll every domain from ``start_minute`` to ``end_minute``.
+
+        ``end_minute`` defaults to the end of the simulated observation
+        window.  Returns the full snapshot stream.
+        """
+        clock = self._transport.network.clock
+        end_minute = clock.window_minutes if end_minute is None else end_minute
+        if end_minute <= start_minute:
+            raise ConfigurationError("the monitoring window must have positive length")
+        log = MonitoringLog(interval_minutes=self.interval_minutes)
+        for minute in clock.iter_ticks(self.interval_minutes, start_minute, end_minute):
+            log.extend(self.poll(minute))
+        return log

@@ -1,0 +1,186 @@
+"""The toot crawler: paging every instance's federated timeline.
+
+The paper's crawl (May 2018) connected to the ~1.75K instances that were
+online, paged through the entire history of each instance's federated
+timeline via the public API, and recorded per-toot metadata.  Roughly 38%
+of toots could not be collected because they were private or because the
+instance blocked crawling.
+
+:class:`TootCrawler` reproduces that procedure over the simulated
+transport: it filters to instances that are online at crawl time, pages
+each federated timeline with ``max_id``, respects crawl blocks and
+politeness delays, and runs instances in parallel across a thread pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import CrawlBlockedError, HTTPError
+from repro.crawler.http import SimulatedTransport
+from repro.crawler.scheduler import CrawlReport, CrawlScheduler, RateLimiter
+from repro.fediverse.timeline import DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class TootRecord:
+    """One toot as observed by the crawler (the paper's toots dataset row)."""
+
+    toot_id: int
+    url: str
+    account: str
+    author_domain: str
+    collected_from: str
+    created_at: int
+    hashtags: tuple[str, ...] = ()
+    media_attachments: int = 0
+    favourites: int = 0
+    is_boost: bool = False
+    sensitive: bool = False
+
+    @property
+    def is_remote(self) -> bool:
+        """Whether the toot was authored on a different instance than collected."""
+        return self.author_domain != self.collected_from
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "TootRecord":
+        """Build a record from the public timeline API payload."""
+        return cls(
+            toot_id=int(payload["id"]),
+            url=str(payload["url"]),
+            account=str(payload["account"]),
+            author_domain=str(payload["account_domain"]),
+            collected_from=str(payload["collected_from"]),
+            created_at=int(payload["created_at"]),
+            hashtags=tuple(payload.get("tags", ())),
+            media_attachments=int(payload.get("media_attachments", 0)),
+            favourites=int(payload.get("favourites_count", 0)),
+            is_boost=payload.get("reblog_of_id") is not None,
+            sensitive=bool(payload.get("sensitive", False)),
+        )
+
+
+@dataclass
+class TootCrawlResult:
+    """The outcome of a full toot crawl."""
+
+    crawl_minute: int
+    records_by_instance: dict[str, list[TootRecord]] = field(default_factory=dict)
+    skipped_offline: list[str] = field(default_factory=list)
+    skipped_blocked: list[str] = field(default_factory=list)
+    failures: dict[str, str] = field(default_factory=dict)
+
+    def all_records(self) -> list[TootRecord]:
+        """Return every record collected, across all instances."""
+        records: list[TootRecord] = []
+        for instance_records in self.records_by_instance.values():
+            records.extend(instance_records)
+        return records
+
+    def unique_toots(self) -> dict[str, TootRecord]:
+        """Return the de-duplicated toot catalogue keyed by toot URL.
+
+        The same toot can be observed on many federated timelines; the
+        paper's 67M-toot dataset is the de-duplicated union.
+        """
+        unique: dict[str, TootRecord] = {}
+        for record in self.all_records():
+            unique.setdefault(record.url, record)
+        return unique
+
+    @property
+    def crawled_instances(self) -> list[str]:
+        """Instances that were successfully crawled."""
+        return sorted(self.records_by_instance)
+
+
+class TootCrawler:
+    """Multi-threaded crawler for instance federated timelines."""
+
+    def __init__(
+        self,
+        transport: SimulatedTransport,
+        threads: int = 10,
+        page_limit: int = DEFAULT_PAGE_SIZE,
+        politeness_delay: float = 0.0,
+        max_pages_per_instance: int | None = None,
+    ) -> None:
+        self._transport = transport
+        self._scheduler = CrawlScheduler(threads=threads)
+        self._rate_limiter = RateLimiter(delay_seconds=politeness_delay)
+        self.page_limit = page_limit
+        self.max_pages_per_instance = max_pages_per_instance
+
+    # -- single instance -----------------------------------------------------
+
+    def crawl_instance(self, domain: str, at_minute: int) -> list[TootRecord]:
+        """Page the full federated-timeline history of one instance."""
+        records: list[TootRecord] = []
+        max_id: int | None = None
+        pages = 0
+        while True:
+            self._rate_limiter.acquire(domain)
+            url = f"https://{domain}/api/v1/timelines/public?limit={self.page_limit}"
+            if max_id is not None:
+                url = f"{url}&max_id={max_id}"
+            response = self._transport.get(url, at_minute=at_minute)
+            payload: list[dict[str, Any]] = response.payload
+            if not payload:
+                break
+            records.extend(TootRecord.from_payload(item) for item in payload)
+            max_id = min(int(item["id"]) for item in payload)
+            pages += 1
+            if self.max_pages_per_instance is not None and pages >= self.max_pages_per_instance:
+                break
+            if len(payload) < self.page_limit:
+                break
+        return records
+
+    # -- full crawl -------------------------------------------------------------
+
+    def live_domains(self, domains: Iterable[str], at_minute: int) -> list[str]:
+        """Filter ``domains`` to those whose instance API answers at ``at_minute``."""
+        live: list[str] = []
+        for domain in sorted(set(domains)):
+            try:
+                self._transport.get(f"https://{domain}/api/v1/instance", at_minute=at_minute)
+            except HTTPError:
+                continue
+            live.append(domain)
+        return live
+
+    def crawl(
+        self,
+        domains: Iterable[str] | None = None,
+        at_minute: int | None = None,
+    ) -> TootCrawlResult:
+        """Crawl the federated timelines of every (online) instance.
+
+        ``domains`` defaults to every instance known to the transport and
+        ``at_minute`` to the end of the observation window (the paper
+        crawled toots near the end of its measurement period).
+        """
+        network = self._transport.network
+        if at_minute is None:
+            at_minute = network.clock.window_minutes - 1
+        if domains is None:
+            domains = self._transport.known_domains()
+
+        result = TootCrawlResult(crawl_minute=at_minute)
+        live = self.live_domains(domains, at_minute)
+        result.skipped_offline = sorted(set(domains) - set(live))
+
+        report: CrawlReport = self._scheduler.run(
+            live, lambda domain: self.crawl_instance(domain, at_minute)
+        )
+        for outcome in report.outcomes:
+            if outcome.ok:
+                result.records_by_instance[outcome.key] = outcome.result  # type: ignore[assignment]
+            elif isinstance(outcome.error, CrawlBlockedError):
+                result.skipped_blocked.append(outcome.key)
+            else:
+                result.failures[outcome.key] = str(outcome.error)
+        result.skipped_blocked.sort()
+        return result

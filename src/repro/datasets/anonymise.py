@@ -1,0 +1,70 @@
+"""Anonymisation of user-identifying fields.
+
+The paper anonymised all data before usage and only released
+infrastructure information plus anonymised toot metadata.  The
+:class:`Anonymiser` applies a salted one-way hash to account handles (and
+to toot URLs, which embed the handle) while keeping instance domains
+intact — instance-level analysis needs domains, user-level analysis only
+needs stable pseudonyms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import replace
+from typing import Iterable
+
+from repro.crawler.graph_crawler import FollowEdgeRecord
+from repro.crawler.toot_crawler import TootRecord
+
+
+class Anonymiser:
+    """Salted, deterministic pseudonymisation of account handles."""
+
+    def __init__(self, salt: str | None = None, digest_size: int = 12) -> None:
+        self._salt = salt if salt is not None else secrets.token_hex(16)
+        self._digest_size = digest_size
+
+    @property
+    def salt(self) -> str:
+        """The salt in use (persist it to keep pseudonyms stable across runs)."""
+        return self._salt
+
+    def pseudonym(self, handle: str) -> str:
+        """Return the pseudonym for an ``account@domain`` handle.
+
+        The instance domain is preserved so that instance-level joins keep
+        working on anonymised data.
+        """
+        username, sep, domain = handle.partition("@")
+        digest = hashlib.sha256(f"{self._salt}:{username}@{domain}".encode("utf-8")).hexdigest()
+        token = digest[: self._digest_size]
+        if not sep:
+            return token
+        return f"{token}@{domain}"
+
+    def anonymise_toot(self, record: TootRecord) -> TootRecord:
+        """Return a copy of a toot record with pseudonymised author fields."""
+        pseudonym = self.pseudonym(record.account)
+        username = pseudonym.split("@", 1)[0]
+        return replace(
+            record,
+            account=pseudonym,
+            url=f"https://{record.author_domain}/@{username}/{record.toot_id}",
+        )
+
+    def anonymise_toots(self, records: Iterable[TootRecord]) -> list[TootRecord]:
+        """Anonymise a collection of toot records."""
+        return [self.anonymise_toot(record) for record in records]
+
+    def anonymise_edge(self, edge: FollowEdgeRecord) -> FollowEdgeRecord:
+        """Return a copy of a follow edge with pseudonymised endpoints."""
+        return FollowEdgeRecord(
+            follower=self.pseudonym(edge.follower),
+            followed=self.pseudonym(edge.followed),
+        )
+
+    def anonymise_edges(self, edges: Iterable[FollowEdgeRecord]) -> list[FollowEdgeRecord]:
+        """Anonymise a collection of follow edges."""
+        return [self.anonymise_edge(edge) for edge in edges]

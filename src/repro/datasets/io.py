@@ -1,0 +1,121 @@
+"""Serialisation helpers: JSON-lines persistence for the datasets.
+
+The paper released anonymised infrastructure and toot-metadata dumps; the
+functions here let users of this library persist and re-load the same
+artefacts (monitor snapshots, toot records, follower edges) without the
+simulator, so analyses can be re-run from files alone.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence, Type, TypeVar
+
+from repro.errors import DatasetError
+from repro.crawler.graph_crawler import FollowEdgeRecord
+from repro.crawler.monitor import InstanceSnapshot
+from repro.crawler.toot_crawler import TootRecord
+
+T = TypeVar("T")
+
+
+def write_jsonl(path: str | Path, rows: Iterable[dict[str, Any]]) -> int:
+    """Write dictionaries as JSON lines; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Yield dictionaries from a JSON-lines file."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such dataset file: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(f"{path}:{line_number}: invalid JSON") from exc
+
+
+def write_csv(path: str | Path, rows: Sequence[dict[str, Any]], fieldnames: Sequence[str] | None = None) -> int:
+    """Write dictionaries to a CSV file; returns the number of rows written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = list(rows)
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return 0
+    if fieldnames is None:
+        fieldnames = list(rows[0].keys())
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def _dataclass_to_row(item: Any) -> dict[str, Any]:
+    if not is_dataclass(item):
+        raise DatasetError(f"expected a dataclass instance, got {type(item)!r}")
+    row = asdict(item)
+    for key, value in list(row.items()):
+        if isinstance(value, tuple):
+            row[key] = list(value)
+    return row
+
+
+def _row_to_dataclass(cls: Type[T], row: dict[str, Any]) -> T:
+    names = {f.name for f in fields(cls)}  # type: ignore[arg-type]
+    kwargs = {}
+    for key, value in row.items():
+        if key not in names:
+            continue
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    return cls(**kwargs)  # type: ignore[call-arg]
+
+
+def save_snapshots(path: str | Path, snapshots: Iterable[InstanceSnapshot]) -> int:
+    """Persist monitor snapshots as JSON lines."""
+    return write_jsonl(path, (_dataclass_to_row(s) for s in snapshots))
+
+
+def load_snapshots(path: str | Path) -> list[InstanceSnapshot]:
+    """Load monitor snapshots from JSON lines."""
+    return [_row_to_dataclass(InstanceSnapshot, row) for row in read_jsonl(path)]
+
+
+def save_toot_records(path: str | Path, records: Iterable[TootRecord]) -> int:
+    """Persist toot records as JSON lines."""
+    return write_jsonl(path, (_dataclass_to_row(r) for r in records))
+
+
+def load_toot_records(path: str | Path) -> list[TootRecord]:
+    """Load toot records from JSON lines."""
+    return [_row_to_dataclass(TootRecord, row) for row in read_jsonl(path)]
+
+
+def save_edges(path: str | Path, edges: Iterable[FollowEdgeRecord]) -> int:
+    """Persist follower edges as JSON lines."""
+    return write_jsonl(path, (_dataclass_to_row(e) for e in edges))
+
+
+def load_edges(path: str | Path) -> list[FollowEdgeRecord]:
+    """Load follower edges from JSON lines."""
+    return [_row_to_dataclass(FollowEdgeRecord, row) for row in read_jsonl(path)]

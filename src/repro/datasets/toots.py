@@ -1,0 +1,173 @@
+"""The toots dataset: the de-duplicated catalogue of crawled toots.
+
+Wraps the output of :class:`~repro.crawler.toot_crawler.TootCrawler` with
+the indexes used in Sections 4 and 5: per-author and per-home-instance
+toot counts, boost counts, and the home/remote composition of each
+instance's federated timeline (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DatasetError
+from repro.crawler.toot_crawler import TootCrawlResult, TootRecord
+
+
+@dataclass
+class TimelineComposition:
+    """Home vs. remote toots observed on one instance's federated timeline."""
+
+    domain: str
+    home_toots: int = 0
+    remote_toots: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of toots on the federated timeline."""
+        return self.home_toots + self.remote_toots
+
+    @property
+    def home_fraction(self) -> float:
+        """Fraction of the federated timeline generated locally."""
+        if self.total == 0:
+            return 0.0
+        return self.home_toots / self.total
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of the federated timeline replicated from elsewhere."""
+        if self.total == 0:
+            return 0.0
+        return self.remote_toots / self.total
+
+
+class TootsDataset:
+    """The de-duplicated toot catalogue plus per-instance observations."""
+
+    def __init__(
+        self,
+        records: Iterable[TootRecord],
+        observed_by_instance: Mapping[str, Iterable[TootRecord]] | None = None,
+        crawl_minute: int = 0,
+    ) -> None:
+        self.crawl_minute = crawl_minute
+        unique: dict[str, TootRecord] = {}
+        for record in records:
+            unique.setdefault(record.url, record)
+        if not unique:
+            raise DatasetError("cannot build a toots dataset with no records")
+        self._records = unique
+        self._observed_by_instance: dict[str, list[TootRecord]] = {
+            domain: list(observations)
+            for domain, observations in (observed_by_instance or {}).items()
+        }
+
+        self._by_author: dict[str, list[TootRecord]] = {}
+        self._by_home_instance: dict[str, list[TootRecord]] = {}
+        for record in self._records.values():
+            self._by_author.setdefault(record.account, []).append(record)
+            self._by_home_instance.setdefault(record.author_domain, []).append(record)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_crawl(cls, result: TootCrawlResult) -> "TootsDataset":
+        """Build the dataset from a :class:`TootCrawlResult`."""
+        return cls(
+            records=result.all_records(),
+            observed_by_instance=result.records_by_instance,
+            crawl_minute=result.crawl_minute,
+        )
+
+    # -- basic accessors -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> list[TootRecord]:
+        """Every unique toot record."""
+        return list(self._records.values())
+
+    def authors(self) -> list[str]:
+        """Every distinct author handle."""
+        return sorted(self._by_author)
+
+    def author_count(self) -> int:
+        """Number of distinct authors in the catalogue."""
+        return len(self._by_author)
+
+    def home_instances(self) -> list[str]:
+        """Every instance that authored at least one crawled toot."""
+        return sorted(self._by_home_instance)
+
+    def toots_by_author(self, account: str) -> list[TootRecord]:
+        """Toots authored by ``account``."""
+        return list(self._by_author.get(account, []))
+
+    def toots_from_instance(self, domain: str) -> list[TootRecord]:
+        """Toots authored on ``domain`` (its home toots)."""
+        return list(self._by_home_instance.get(domain, []))
+
+    def toots_per_instance(self) -> dict[str, int]:
+        """Home-toot count per instance."""
+        return {domain: len(records) for domain, records in self._by_home_instance.items()}
+
+    def toots_per_author(self) -> dict[str, int]:
+        """Toot count per author handle."""
+        return {account: len(records) for account, records in self._by_author.items()}
+
+    def boost_count(self) -> int:
+        """Number of boosts in the catalogue."""
+        return sum(1 for record in self._records.values() if record.is_boost)
+
+    def original_toots(self) -> list[TootRecord]:
+        """Toots that are not boosts."""
+        return [record for record in self._records.values() if not record.is_boost]
+
+    def coverage(self, total_toots_reported: int) -> float:
+        """Fraction of the instance-reported toot population we collected.
+
+        The paper compares its crawl against the counts exposed by the
+        instance API and reports 62% coverage.
+        """
+        if total_toots_reported <= 0:
+            raise DatasetError("the reported toot population must be positive")
+        return min(1.0, len(self._records) / total_toots_reported)
+
+    # -- federated timeline composition (Fig. 14) ------------------------------------
+
+    def observed_instances(self) -> list[str]:
+        """Instances whose federated timeline was crawled."""
+        return sorted(self._observed_by_instance)
+
+    def timeline_composition(self, domain: str) -> TimelineComposition:
+        """Home/remote composition of one instance's federated timeline."""
+        observations = self._observed_by_instance.get(domain)
+        if observations is None:
+            raise DatasetError(f"no federated-timeline observations for {domain!r}")
+        composition = TimelineComposition(domain=domain)
+        for record in observations:
+            if record.author_domain == domain:
+                composition.home_toots += 1
+            else:
+                composition.remote_toots += 1
+        return composition
+
+    def timeline_compositions(self) -> list[TimelineComposition]:
+        """Home/remote composition for every observed instance."""
+        return [self.timeline_composition(domain) for domain in self.observed_instances()]
+
+    def replication_counts(self) -> dict[str, int]:
+        """For each toot URL, how many *other* instances held a copy.
+
+        This quantifies how widely each toot was already replicated onto
+        federated timelines at crawl time (used to motivate Section 5.2).
+        """
+        counts: dict[str, int] = {url: 0 for url in self._records}
+        for domain, observations in self._observed_by_instance.items():
+            for record in observations:
+                if record.author_domain != domain and record.url in counts:
+                    counts[record.url] += 1
+        return counts

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The fediverse simulator was driven into an inconsistent state."""
+
+
+class UnknownInstanceError(SimulationError):
+    """An operation referenced an instance domain that does not exist."""
+
+    def __init__(self, domain: str) -> None:
+        super().__init__(f"unknown instance: {domain!r}")
+        self.domain = domain
+
+
+class UnknownUserError(SimulationError):
+    """An operation referenced a user handle that does not exist."""
+
+    def __init__(self, handle: str) -> None:
+        super().__init__(f"unknown user: {handle!r}")
+        self.handle = handle
+
+
+class RegistrationClosedError(SimulationError):
+    """A registration was attempted on a closed instance without an invite."""
+
+    def __init__(self, domain: str) -> None:
+        super().__init__(f"registrations are closed on {domain!r}")
+        self.domain = domain
+
+
+class CrawlError(ReproError):
+    """Base class for crawler failures."""
+
+
+class HTTPError(CrawlError):
+    """A simulated HTTP request failed with a non-success status code."""
+
+    def __init__(self, url: str, status: int, reason: str = "") -> None:
+        message = f"HTTP {status} for {url}"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+        self.url = url
+        self.status = status
+        self.reason = reason
+
+
+class InstanceUnavailableError(HTTPError):
+    """The target instance was offline at the time of the request."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, 503, "instance unavailable")
+
+
+class CrawlBlockedError(HTTPError):
+    """The target instance blocks crawling of the requested resource."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, 403, "crawling blocked by instance policy")
+
+
+class RateLimitError(HTTPError):
+    """The crawler exceeded the per-instance request budget."""
+
+    def __init__(self, url: str, retry_after: float) -> None:
+        super().__init__(url, 429, f"rate limited, retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class DatasetError(ReproError):
+    """A dataset could not be built, loaded, or validated."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received inputs it cannot operate on."""

@@ -1,0 +1,59 @@
+"""A self-contained Fediverse (Mastodon/Pleroma) simulator.
+
+The paper measured the live Fediverse over HTTPS.  This package provides
+the offline substitute: a population of instances with users, toots,
+follows, federation, hosting metadata, TLS certificates and an outage
+process, exposed through the same API surface the paper crawled
+(``/api/v1/instance``, federated timelines, follower pages).
+"""
+
+from repro.fediverse.entities import (
+    ActivityPolicy,
+    ActivityType,
+    Category,
+    Follow,
+    InstanceDescriptor,
+    OperatorType,
+    RegistrationPolicy,
+    Software,
+    Toot,
+    User,
+    UserRef,
+    Visibility,
+)
+from repro.fediverse.geo import AutonomousSystem, GeoDatabase, GeoRecord, WELL_KNOWN_ASES
+from repro.fediverse.certificates import Certificate, CertificateRegistry, CERTIFICATE_AUTHORITIES
+from repro.fediverse.uptime import AvailabilitySchedule, Outage, OutageCause
+from repro.fediverse.instance import InstanceServer
+from repro.fediverse.network import FediverseNetwork
+from repro.fediverse.workload import ScenarioConfig, ScenarioGenerator, build_scenario
+
+__all__ = [
+    "ActivityPolicy",
+    "ActivityType",
+    "AutonomousSystem",
+    "AvailabilitySchedule",
+    "CERTIFICATE_AUTHORITIES",
+    "Category",
+    "Certificate",
+    "CertificateRegistry",
+    "FediverseNetwork",
+    "Follow",
+    "GeoDatabase",
+    "GeoRecord",
+    "InstanceDescriptor",
+    "InstanceServer",
+    "OperatorType",
+    "Outage",
+    "OutageCause",
+    "RegistrationPolicy",
+    "ScenarioConfig",
+    "ScenarioGenerator",
+    "Software",
+    "Toot",
+    "User",
+    "UserRef",
+    "Visibility",
+    "WELL_KNOWN_ASES",
+    "build_scenario",
+]

@@ -1,0 +1,130 @@
+"""A minimal ActivityPub / ActivityStreams layer.
+
+Mastodon federates via ActivityPub: user actions become *activities*
+(``Create`` for a new toot, ``Announce`` for a boost, ``Follow`` for a new
+follow) addressed from an *actor* and delivered to the inboxes of remote
+instances that subscribe to the author.  The simulator uses the same
+vocabulary so that the federation code path mirrors the real protocol,
+and so that tests can assert on the messages instances exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.fediverse.entities import Toot, UserRef
+
+ACTIVITYSTREAMS_CONTEXT = "https://www.w3.org/ns/activitystreams"
+
+
+class ActivityVerb(str, Enum):
+    """The subset of ActivityStreams verbs used by Mastodon federation."""
+
+    CREATE = "Create"
+    ANNOUNCE = "Announce"
+    FOLLOW = "Follow"
+    ACCEPT = "Accept"
+    UNDO = "Undo"
+
+
+@dataclass(frozen=True, slots=True)
+class Actor:
+    """An ActivityPub actor: a user account addressable across instances."""
+
+    ref: UserRef
+
+    @property
+    def actor_id(self) -> str:
+        """Return the actor's canonical URI."""
+        return f"https://{self.ref.domain}/users/{self.ref.username}"
+
+    @property
+    def inbox(self) -> str:
+        """Return the actor's inbox URI."""
+        return f"{self.actor_id}/inbox"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the actor to an ActivityStreams-style dictionary."""
+        return {
+            "@context": ACTIVITYSTREAMS_CONTEXT,
+            "type": "Person",
+            "id": self.actor_id,
+            "preferredUsername": self.ref.username,
+            "inbox": self.inbox,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Note:
+    """The ActivityStreams object wrapping a toot."""
+
+    toot: Toot
+
+    @property
+    def note_id(self) -> str:
+        """Return the note's canonical URI (the toot URL)."""
+        return self.toot.url
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the note to an ActivityStreams-style dictionary."""
+        return {
+            "@context": ACTIVITYSTREAMS_CONTEXT,
+            "type": "Note",
+            "id": self.note_id,
+            "attributedTo": Actor(self.toot.author).actor_id,
+            "published": self.toot.created_at,
+            "sensitive": self.toot.content_warning,
+            "tag": [{"type": "Hashtag", "name": f"#{tag}"} for tag in self.toot.hashtags],
+            "visibility": self.toot.visibility.value,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class Activity:
+    """An activity exchanged between instances."""
+
+    verb: ActivityVerb
+    actor: Actor
+    object_payload: dict[str, Any]
+    target_domain: str
+    published: int = 0
+    activity_id: str = field(default="", compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the activity to an ActivityStreams-style dictionary."""
+        return {
+            "@context": ACTIVITYSTREAMS_CONTEXT,
+            "type": self.verb.value,
+            "actor": self.actor.actor_id,
+            "object": self.object_payload,
+            "published": self.published,
+            "id": self.activity_id or f"{self.actor.actor_id}#activities/{self.published}",
+        }
+
+
+def create_activity_for_toot(toot: Toot, target_domain: str) -> Activity:
+    """Wrap a freshly posted toot into a ``Create`` activity for delivery."""
+    verb = ActivityVerb.ANNOUNCE if toot.is_boost else ActivityVerb.CREATE
+    return Activity(
+        verb=verb,
+        actor=Actor(toot.author),
+        object_payload=Note(toot).to_dict(),
+        target_domain=target_domain,
+        published=toot.created_at,
+    )
+
+
+def follow_activity(follower: UserRef, followed: UserRef, created_at: int) -> Activity:
+    """Build the ``Follow`` activity for a (possibly remote) follow."""
+    if follower == followed:
+        raise SimulationError("an account cannot follow itself")
+    return Activity(
+        verb=ActivityVerb.FOLLOW,
+        actor=Actor(follower),
+        object_payload={"type": "Person", "id": Actor(followed).actor_id},
+        target_domain=followed.domain,
+        published=created_at,
+    )

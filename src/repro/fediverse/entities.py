@@ -1,0 +1,272 @@
+"""Core entities of the simulated Fediverse.
+
+These dataclasses mirror the objects the paper's crawlers observed:
+instances (with their self-declared metadata), users, toots, boosts and
+follow relationships.  They carry no behaviour beyond light validation;
+the behaviour lives in :mod:`repro.fediverse.instance` and
+:mod:`repro.fediverse.network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+
+class Software(str, Enum):
+    """Server implementation running an instance."""
+
+    MASTODON = "mastodon"
+    PLEROMA = "pleroma"
+
+
+class RegistrationPolicy(str, Enum):
+    """Whether an instance lets anybody sign up or requires an invite."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+
+class Visibility(str, Enum):
+    """Visibility of a toot.  The paper could only crawl public toots."""
+
+    PUBLIC = "public"
+    PRIVATE = "private"
+
+
+class Category(str, Enum):
+    """Self-declared instance categories (the taxonomy behind Fig. 3)."""
+
+    TECH = "tech"
+    GAMES = "games"
+    ART = "art"
+    ACTIVISM = "activism"
+    MUSIC = "music"
+    ANIME = "anime"
+    BOOKS = "books"
+    ACADEMIA = "academia"
+    LGBT = "lgbt"
+    JOURNALISM = "journalism"
+    FURRY = "furry"
+    SPORTS = "sports"
+    ADULT = "adult"
+    POC = "poc"
+    HUMOR = "humor"
+    GENERIC = "generic"
+
+
+class ActivityType(str, Enum):
+    """Activity types instances explicitly allow or prohibit (Fig. 4)."""
+
+    NUDITY_WITH_NSFW = "nudity_with_nsfw"
+    PORNOGRAPHY_WITH_NSFW = "pornography_with_nsfw"
+    SPOILERS_WITHOUT_CW = "spoilers_without_cw"
+    ADVERTISING = "advertising"
+    LINKS_TO_ILLEGAL_CONTENT = "links_to_illegal_content"
+    NUDITY_WITHOUT_NSFW = "nudity_without_nsfw"
+    PORNOGRAPHY_WITHOUT_NSFW = "pornography_without_nsfw"
+    SPAM = "spam"
+
+
+class OperatorType(str, Enum):
+    """Who runs an instance (Table 2's "Run by" column)."""
+
+    INDIVIDUAL = "individual"
+    COMPANY = "company"
+    CROWD_FUNDED = "crowd_funded"
+    ASSOCIATION = "association"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class ActivityPolicy:
+    """The activities an instance explicitly allows or prohibits.
+
+    ``allows_all`` models the 17.5% of tagged instances that allow every
+    activity type.  ``allowed`` and ``prohibited`` must be disjoint.
+    """
+
+    allowed: frozenset[ActivityType] = field(default_factory=frozenset)
+    prohibited: frozenset[ActivityType] = field(default_factory=frozenset)
+    allows_all: bool = False
+
+    def __post_init__(self) -> None:
+        overlap = self.allowed & self.prohibited
+        if overlap:
+            names = ", ".join(sorted(a.value for a in overlap))
+            raise ConfigurationError(f"activities both allowed and prohibited: {names}")
+
+    def allows(self, activity: ActivityType) -> bool:
+        """Return whether the instance allows ``activity``."""
+        if self.allows_all:
+            return True
+        if activity in self.prohibited:
+            return False
+        return activity in self.allowed
+
+    def prohibits(self, activity: ActivityType) -> bool:
+        """Return whether the instance explicitly prohibits ``activity``."""
+        if self.allows_all:
+            return False
+        return activity in self.prohibited
+
+    @classmethod
+    def permissive(cls) -> "ActivityPolicy":
+        """Return a policy that allows every activity type."""
+        return cls(allows_all=True)
+
+    @classmethod
+    def from_lists(
+        cls,
+        allowed: Iterable[ActivityType] = (),
+        prohibited: Iterable[ActivityType] = (),
+    ) -> "ActivityPolicy":
+        """Build a policy from iterables of allowed/prohibited activities."""
+        return cls(allowed=frozenset(allowed), prohibited=frozenset(prohibited))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class UserRef:
+    """A fully-qualified reference to an account: ``username@domain``.
+
+    The paper identifies accounts per instance (the same username on two
+    instances counts as two nodes); ``UserRef`` encodes exactly that.
+    """
+
+    username: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        if not self.username or "@" in self.username:
+            raise ConfigurationError(f"invalid username: {self.username!r}")
+        if not self.domain or "/" in self.domain:
+            raise ConfigurationError(f"invalid domain: {self.domain!r}")
+
+    @property
+    def handle(self) -> str:
+        """Return the canonical ``username@domain`` handle."""
+        return f"{self.username}@{self.domain}"
+
+    @classmethod
+    def parse(cls, handle: str) -> "UserRef":
+        """Parse a ``username@domain`` handle into a :class:`UserRef`."""
+        username, sep, domain = handle.partition("@")
+        if not sep or not username or not domain:
+            raise ConfigurationError(f"invalid handle: {handle!r}")
+        return cls(username=username, domain=domain)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.handle
+
+
+@dataclass(slots=True)
+class User:
+    """A registered account on an instance."""
+
+    username: str
+    domain: str
+    created_at: int = 0
+    is_bot: bool = False
+    display_name: str = ""
+
+    @property
+    def ref(self) -> UserRef:
+        """Return the :class:`UserRef` identifying this account."""
+        return UserRef(username=self.username, domain=self.domain)
+
+    @property
+    def handle(self) -> str:
+        """Return the ``username@domain`` handle."""
+        return f"{self.username}@{self.domain}"
+
+
+@dataclass(slots=True)
+class Toot:
+    """A status posted (or boosted) on an instance.
+
+    ``boost_of`` holds the id of the original toot when this toot is a
+    boost (Mastodon's equivalent of a retweet).
+    """
+
+    toot_id: int
+    author: UserRef
+    created_at: int
+    visibility: Visibility = Visibility.PUBLIC
+    content_warning: bool = False
+    hashtags: tuple[str, ...] = ()
+    media_count: int = 0
+    favourites: int = 0
+    boost_of: int | None = None
+
+    @property
+    def is_public(self) -> bool:
+        """Return whether the toot is publicly visible (crawlable)."""
+        return self.visibility is Visibility.PUBLIC
+
+    @property
+    def is_boost(self) -> bool:
+        """Return whether this toot is a boost of another toot."""
+        return self.boost_of is not None
+
+    @property
+    def url(self) -> str:
+        """Return the canonical URL of the toot on its home instance."""
+        return f"https://{self.author.domain}/@{self.author.username}/{self.toot_id}"
+
+
+@dataclass(frozen=True, slots=True)
+class Follow:
+    """A directed follow edge: ``follower`` follows ``followed``."""
+
+    follower: UserRef
+    followed: UserRef
+    created_at: int = 0
+
+    @property
+    def is_remote(self) -> bool:
+        """Return whether the edge crosses instances (triggers federation)."""
+        return self.follower.domain != self.followed.domain
+
+
+@dataclass(slots=True)
+class InstanceDescriptor:
+    """Static metadata describing an instance.
+
+    This is the information exposed (directly or indirectly) by the
+    instance API and by external databases: software and registration
+    policy, self-declared categories and activity policy, hosting
+    (country/AS/IP), operator type, certificate authority, and whether the
+    instance blocks toot crawling.
+    """
+
+    domain: str
+    software: Software = Software.MASTODON
+    registration: RegistrationPolicy = RegistrationPolicy.OPEN
+    categories: tuple[Category, ...] = ()
+    activity_policy: ActivityPolicy | None = None
+    country: str = "US"
+    asn: int = 0
+    ip_address: str = ""
+    operator: OperatorType = OperatorType.INDIVIDUAL
+    created_at: int = 0
+    crawl_blocked: bool = False
+    version: str = "2.4.0"
+
+    def __post_init__(self) -> None:
+        if not self.domain or "/" in self.domain or " " in self.domain:
+            raise ConfigurationError(f"invalid instance domain: {self.domain!r}")
+        if len(self.categories) != len(set(self.categories)):
+            raise ConfigurationError(f"duplicate categories for {self.domain}")
+
+    @property
+    def is_open(self) -> bool:
+        """Return whether anybody can register on this instance."""
+        return self.registration is RegistrationPolicy.OPEN
+
+    @property
+    def is_tagged(self) -> bool:
+        """Return whether the instance self-declares at least one category."""
+        return bool(self.categories)

@@ -1,0 +1,139 @@
+"""Federation: cross-instance follows and toot delivery.
+
+Federation is the second DW innovation studied by the paper.  When a user
+follows an account on a remote instance, their *local* instance performs
+the subscription on their behalf; from then on, toots posted on the
+remote instance are pushed to the local instance's federated timeline.
+
+:class:`FederationRouter` implements that behaviour over a registry of
+:class:`~repro.fediverse.instance.InstanceServer` objects, speaking the
+minimal ActivityPub vocabulary from :mod:`repro.fediverse.activitypub`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import SimulationError, UnknownInstanceError
+from repro.fediverse.activitypub import Activity, create_activity_for_toot, follow_activity
+from repro.fediverse.entities import Follow, Toot, UserRef
+from repro.fediverse.instance import InstanceServer
+
+
+@dataclass
+class FederationStats:
+    """Counters describing federation traffic, useful in tests and reports."""
+
+    follow_activities: int = 0
+    remote_follows: int = 0
+    local_follows: int = 0
+    deliveries_attempted: int = 0
+    deliveries_succeeded: int = 0
+    delivery_log: list[Activity] = field(default_factory=list)
+
+
+class FederationRouter:
+    """Routes follows and toots between instances.
+
+    The router holds no instance state itself; it operates on the mapping
+    supplied by :class:`~repro.fediverse.network.FediverseNetwork` and is
+    therefore trivially testable with hand-built instances.
+    """
+
+    def __init__(
+        self,
+        instances: Mapping[str, InstanceServer],
+        record_activities: bool = False,
+    ) -> None:
+        self._instances = instances
+        self._record_activities = record_activities
+        self.stats = FederationStats()
+
+    def _instance(self, domain: str) -> InstanceServer:
+        try:
+            return self._instances[domain]
+        except KeyError as exc:
+            raise UnknownInstanceError(domain) from exc
+
+    # -- follows ------------------------------------------------------------
+
+    def handle_follow(self, follower: UserRef, followed: UserRef, created_at: int = 0) -> Follow:
+        """Create a follow edge, wiring both instances and their subscriptions.
+
+        For remote follows this also records the instance-level federated
+        subscription (the edges of the federation graph GF).
+        """
+        if follower == followed:
+            raise SimulationError("an account cannot follow itself")
+        follower_instance = self._instance(follower.domain)
+        followed_instance = self._instance(followed.domain)
+        if not follower_instance.has_user(follower.username):
+            raise SimulationError(f"unknown follower account {follower.handle}")
+        if not followed_instance.has_user(followed.username):
+            raise SimulationError(f"unknown followed account {followed.handle}")
+
+        follower_instance.add_following(follower.username, followed)
+        followed_instance.add_follower(followed.username, follower)
+
+        edge = Follow(follower=follower, followed=followed, created_at=created_at)
+        if edge.is_remote:
+            self.stats.remote_follows += 1
+            activity = follow_activity(follower, followed, created_at)
+            self.stats.follow_activities += 1
+            if self._record_activities:
+                self.stats.delivery_log.append(activity)
+        else:
+            self.stats.local_follows += 1
+        return edge
+
+    # -- toot delivery ------------------------------------------------------
+
+    def delivery_targets(self, toot: Toot) -> set[str]:
+        """Return the remote domains a toot is pushed to.
+
+        Mastodon delivers a new status to the instances hosting at least
+        one follower of the author (those instances hold the federated
+        subscription for that account).
+        """
+        origin = self._instance(toot.author.domain)
+        followers = origin.followers_of(toot.author.username)
+        return {ref.domain for ref in followers if ref.domain != toot.author.domain}
+
+    def deliver_toot(
+        self,
+        toot: Toot,
+        is_deliverable: Callable[[str], bool] | None = None,
+    ) -> int:
+        """Push a freshly posted toot to every subscribing remote instance.
+
+        ``is_deliverable`` lets callers model delivery-time failures (an
+        offline subscriber simply misses the push).  Returns the number of
+        instances that received the toot.
+        """
+        delivered = 0
+        for domain in sorted(self.delivery_targets(toot)):
+            self.stats.deliveries_attempted += 1
+            if is_deliverable is not None and not is_deliverable(domain):
+                continue
+            subscriber = self._instance(domain)
+            if subscriber.receive_remote_toot(toot):
+                delivered += 1
+                self.stats.deliveries_succeeded += 1
+                if self._record_activities:
+                    self.stats.delivery_log.append(create_activity_for_toot(toot, domain))
+        return delivered
+
+    # -- graph views --------------------------------------------------------
+
+    def subscription_edges(self) -> set[tuple[str, str]]:
+        """Return the instance-level federation edges ``(subscriber, publisher)``.
+
+        An edge ``(a, b)`` means at least one user on ``a`` follows a user
+        on ``b``, i.e. instance ``a`` subscribes to content from ``b``.
+        """
+        edges: set[tuple[str, str]] = set()
+        for domain, instance in self._instances.items():
+            for publisher in instance.subscriptions:
+                edges.add((domain, publisher))
+        return edges

@@ -1,0 +1,192 @@
+"""Hosting metadata: countries, autonomous systems and IP geolocation.
+
+The paper mapped every instance IP to its country and hosting AS with
+Maxmind and used CAIDA AS Rank for AS metadata (Table 1).  This module is
+the offline substitute: a small registry of well-known hosting ASes plus a
+:class:`GeoDatabase` that records the IP → (country, AS) assignment made
+by the scenario generator and answers Maxmind-style lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError, DatasetError
+
+
+@dataclass(frozen=True, slots=True)
+class AutonomousSystem:
+    """Metadata about a hosting autonomous system.
+
+    ``caida_rank`` and ``peers`` mirror the CAIDA AS Rank columns of
+    Table 1 in the paper.
+    """
+
+    asn: int
+    name: str
+    country: str
+    caida_rank: int = 0
+    peers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ConfigurationError(f"ASN must be positive, got {self.asn}")
+        if not self.name:
+            raise ConfigurationError("AS name cannot be empty")
+
+
+#: The hosting providers named in the paper (Figs. 5, 13; Tables 1, 2).
+#: Ranks/peer counts follow Table 1 where given, otherwise representative values.
+WELL_KNOWN_ASES: tuple[AutonomousSystem, ...] = (
+    AutonomousSystem(asn=16509, name="Amazon.com, Inc.", country="US", caida_rank=28, peers=432),
+    AutonomousSystem(asn=13335, name="Cloudflare, Inc.", country="US", caida_rank=12, peers=620),
+    AutonomousSystem(asn=9370, name="SAKURA Internet Inc.", country="JP", caida_rank=2000, peers=10),
+    AutonomousSystem(asn=16276, name="OVH SAS", country="FR", caida_rank=45, peers=310),
+    AutonomousSystem(asn=14061, name="DigitalOcean, LLC", country="US", caida_rank=70, peers=280),
+    AutonomousSystem(asn=12876, name="Online SAS (Scaleway)", country="FR", caida_rank=160, peers=210),
+    AutonomousSystem(asn=24940, name="Hetzner Online GmbH", country="DE", caida_rank=95, peers=250),
+    AutonomousSystem(asn=7506, name="GMO Internet, Inc.", country="JP", caida_rank=300, peers=90),
+    AutonomousSystem(asn=20473, name="Choopa, LLC", country="US", caida_rank=143, peers=150),
+    AutonomousSystem(asn=8075, name="Microsoft Corporation", country="US", caida_rank=2100, peers=257),
+    AutonomousSystem(asn=12322, name="Free SAS", country="FR", caida_rank=3200, peers=63),
+    AutonomousSystem(asn=2516, name="KDDI CORPORATION", country="JP", caida_rank=70, peers=123),
+    AutonomousSystem(asn=9371, name="SAKURA Internet Inc. (2)", country="JP", caida_rank=2400, peers=3),
+    AutonomousSystem(asn=15169, name="Google LLC", country="US", caida_rank=8, peers=700),
+    AutonomousSystem(asn=2914, name="NTT Communications", country="JP", caida_rank=5, peers=900),
+    AutonomousSystem(asn=63949, name="Linode, LLC", country="US", caida_rank=120, peers=200),
+    AutonomousSystem(asn=197540, name="netcup GmbH", country="DE", caida_rank=800, peers=40),
+    AutonomousSystem(asn=51167, name="Contabo GmbH", country="DE", caida_rank=900, peers=35),
+    AutonomousSystem(asn=49981, name="WorldStream B.V.", country="NL", caida_rank=500, peers=60),
+)
+
+
+#: Countries hosting instances, roughly ordered by the paper's Fig. 5.
+DEFAULT_COUNTRIES: tuple[str, ...] = (
+    "JP",
+    "US",
+    "FR",
+    "DE",
+    "NL",
+    "GB",
+    "CA",
+    "ES",
+    "IT",
+    "BR",
+    "KR",
+    "RU",
+    "SE",
+    "CH",
+    "AU",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class GeoRecord:
+    """The result of looking an IP address up in the geo database."""
+
+    ip_address: str
+    country: str
+    asn: int
+    as_name: str
+
+
+class GeoDatabase:
+    """A Maxmind-like registry mapping IP addresses to country and AS.
+
+    The scenario generator registers every instance IP here; crawler and
+    analysis code then resolve IPs exactly as the paper resolved them with
+    Maxmind/CAIDA.
+    """
+
+    def __init__(self, autonomous_systems: Iterable[AutonomousSystem] = WELL_KNOWN_ASES) -> None:
+        self._ases: dict[int, AutonomousSystem] = {}
+        for asys in autonomous_systems:
+            self.add_autonomous_system(asys)
+        self._records: dict[str, GeoRecord] = {}
+
+    # -- autonomous systems -------------------------------------------------
+
+    def add_autonomous_system(self, asys: AutonomousSystem) -> None:
+        """Register an AS; re-registering the same ASN must be consistent."""
+        existing = self._ases.get(asys.asn)
+        if existing is not None and existing != asys:
+            raise ConfigurationError(f"conflicting metadata for AS{asys.asn}")
+        self._ases[asys.asn] = asys
+
+    def autonomous_system(self, asn: int) -> AutonomousSystem:
+        """Return the metadata for ``asn``."""
+        try:
+            return self._ases[asn]
+        except KeyError as exc:
+            raise DatasetError(f"unknown autonomous system: AS{asn}") from exc
+
+    def autonomous_systems(self) -> Iterator[AutonomousSystem]:
+        """Iterate over every registered AS."""
+        return iter(self._ases.values())
+
+    def has_autonomous_system(self, asn: int) -> bool:
+        """Return whether ``asn`` is registered."""
+        return asn in self._ases
+
+    # -- IP records ---------------------------------------------------------
+
+    def register(self, ip_address: str, country: str, asn: int) -> GeoRecord:
+        """Record that ``ip_address`` is hosted in ``country`` on ``asn``."""
+        if not ip_address:
+            raise ConfigurationError("IP address cannot be empty")
+        asys = self.autonomous_system(asn)
+        record = GeoRecord(ip_address=ip_address, country=country, asn=asn, as_name=asys.name)
+        self._records[ip_address] = record
+        return record
+
+    def lookup(self, ip_address: str) -> GeoRecord:
+        """Return the :class:`GeoRecord` for ``ip_address``."""
+        try:
+            return self._records[ip_address]
+        except KeyError as exc:
+            raise DatasetError(f"IP address not in geo database: {ip_address}") from exc
+
+    def country_of(self, ip_address: str) -> str:
+        """Return the country code for ``ip_address``."""
+        return self.lookup(ip_address).country
+
+    def asn_of(self, ip_address: str) -> int:
+        """Return the ASN for ``ip_address``."""
+        return self.lookup(ip_address).asn
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, ip_address: str) -> bool:
+        return ip_address in self._records
+
+
+class IPAllocator:
+    """Hands out unique synthetic IPv4 addresses, one block per AS.
+
+    Instances co-located in the same AS share a /16 so that the addresses
+    look plausibly clustered, which matters only cosmetically but keeps
+    the "IPs" column of Table 1 meaningful.
+    """
+
+    def __init__(self) -> None:
+        self._next_block = 1
+        self._blocks: dict[int, int] = {}
+        self._next_host: dict[int, int] = {}
+
+    def allocate(self, asn: int) -> str:
+        """Return a fresh IP address within the block assigned to ``asn``."""
+        if asn not in self._blocks:
+            self._blocks[asn] = self._next_block
+            self._next_host[asn] = 1
+            self._next_block += 1
+        block = self._blocks[asn]
+        host = self._next_host[asn]
+        self._next_host[asn] = host + 1
+        third_octet, fourth_octet = divmod(host, 256)
+        if third_octet > 255:
+            raise ConfigurationError(f"address block for AS{asn} exhausted")
+        first = 10 + (block // 256) % 100
+        second = block % 256
+        return f"{first}.{second}.{third_octet}.{fourth_octet}"

@@ -1,0 +1,93 @@
+"""Timelines: ordered, pageable collections of toots.
+
+Mastodon presents three timelines (home, local, federated).  The crawler
+in the paper iterated over the *federated* timeline of every instance via
+the public API, paging backwards with ``max_id``.  This module provides a
+single :class:`Timeline` class with exactly that paging behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator
+
+from repro.fediverse.entities import Toot
+
+#: Default page size used by the Mastodon public timeline API.
+DEFAULT_PAGE_SIZE = 40
+
+
+class Timeline:
+    """An append-only, id-ordered collection of toots with API-style paging.
+
+    Toots are kept sorted by ``toot_id`` (ids are allocated monotonically
+    by the network, so id order equals chronological order).  Paging uses
+    the Mastodon convention: ``page(max_id=x)`` returns the ``limit``
+    newest toots whose id is strictly smaller than ``x``.
+    """
+
+    def __init__(self) -> None:
+        self._toots: list[Toot] = []
+        self._ids: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._toots)
+
+    def __iter__(self) -> Iterator[Toot]:
+        return iter(self._toots)
+
+    def __contains__(self, toot_id: int) -> bool:
+        return toot_id in self._ids
+
+    def add(self, toot: Toot) -> bool:
+        """Insert a toot, keeping id order.  Returns ``False`` on duplicates."""
+        if toot.toot_id in self._ids:
+            return False
+        self._ids.add(toot.toot_id)
+        insort(self._toots, toot, key=lambda t: t.toot_id)
+        return True
+
+    def newest_id(self) -> int | None:
+        """Return the largest toot id on the timeline, or ``None`` if empty."""
+        return self._toots[-1].toot_id if self._toots else None
+
+    def oldest_id(self) -> int | None:
+        """Return the smallest toot id on the timeline, or ``None`` if empty."""
+        return self._toots[0].toot_id if self._toots else None
+
+    def page(
+        self,
+        max_id: int | None = None,
+        limit: int = DEFAULT_PAGE_SIZE,
+        public_only: bool = True,
+    ) -> list[Toot]:
+        """Return up to ``limit`` toots older than ``max_id``, newest first.
+
+        With ``max_id=None`` the newest toots are returned.  Setting
+        ``public_only`` filters out private toots, matching what the public
+        timeline API exposes to an unauthenticated crawler.
+        """
+        if limit <= 0:
+            return []
+        results: list[Toot] = []
+        for toot in reversed(self._toots):
+            if max_id is not None and toot.toot_id >= max_id:
+                continue
+            if public_only and not toot.is_public:
+                continue
+            results.append(toot)
+            if len(results) >= limit:
+                break
+        return results
+
+    def all_toots(self, public_only: bool = False) -> list[Toot]:
+        """Return every toot on the timeline in chronological order."""
+        if not public_only:
+            return list(self._toots)
+        return [toot for toot in self._toots if toot.is_public]
+
+    def count(self, public_only: bool = False) -> int:
+        """Return the number of (optionally public) toots on the timeline."""
+        if not public_only:
+            return len(self._toots)
+        return sum(1 for toot in self._toots if toot.is_public)

@@ -1,0 +1,16 @@
+"""Rendering helpers: text tables, figure series and the experiment index."""
+
+from repro.reporting.tables import format_table, format_percentage
+from repro.reporting.figures import FigureSeries, cdf_series, curve_series
+from repro.reporting.experiments import EXPERIMENTS, Experiment, get_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "FigureSeries",
+    "cdf_series",
+    "curve_series",
+    "format_percentage",
+    "format_table",
+    "get_experiment",
+]

@@ -1,0 +1,63 @@
+"""Figure data series: the (x, y) sequences behind every reproduced plot.
+
+The library does not plot (matplotlib is not a dependency); instead every
+figure is regenerated as named data series that can be dumped, compared
+or fed into any plotting tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import AnalysisError
+from repro.stats.distributions import ECDF
+
+
+@dataclass
+class FigureSeries:
+    """A named collection of (x, y) data series representing one figure."""
+
+    figure_id: str
+    title: str
+    series: dict[str, tuple[list[float], list[float]]] = field(default_factory=dict)
+
+    def add(self, name: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+        """Add one named series; x and y must have the same length."""
+        if len(xs) != len(ys):
+            raise AnalysisError(f"series {name!r}: x and y lengths differ")
+        self.series[name] = (list(float(x) for x in xs), list(float(y) for y in ys))
+
+    def names(self) -> list[str]:
+        """Names of the series in insertion order."""
+        return list(self.series)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise the figure to plain dictionaries (for JSON export)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "series": {
+                name: {"x": xs, "y": ys} for name, (xs, ys) in self.series.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """One-line human-readable description of the figure contents."""
+        parts = [f"{name} ({len(xs)} points)" for name, (xs, _) in self.series.items()]
+        return f"{self.figure_id}: {self.title} — " + ", ".join(parts)
+
+
+def cdf_series(sample: Iterable[float]) -> tuple[list[float], list[float]]:
+    """Return the (x, y) series of an empirical CDF."""
+    return ECDF(sample).series()
+
+
+def curve_series(points: Iterable[tuple[float, float]]) -> tuple[list[float], list[float]]:
+    """Split an iterable of (x, y) points into separate x and y lists."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for x, y in points:
+        xs.append(float(x))
+        ys.append(float(y))
+    return xs, ys

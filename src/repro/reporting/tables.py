@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import AnalysisError
+
+
+def format_percentage(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (``0.123`` -> ``"12.3%"``)."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Numbers are right-aligned, everything else left-aligned.  The result
+    is what the benchmark harnesses print so that regenerated tables can
+    be compared with the paper side by side.
+    """
+    if not headers:
+        raise AnalysisError("a table needs at least one column")
+    str_rows: list[list[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        rendered: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:,.2f}")
+            elif isinstance(value, int) and not isinstance(value, bool):
+                rendered.append(f"{value:,}")
+            else:
+                rendered.append(str(value))
+        str_rows.append(rendered)
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _align(cell: str, index: int, original: Any) -> str:
+        if isinstance(original, (int, float)) and not isinstance(original, bool):
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row, originals in zip(str_rows, rows):
+        lines.append(" | ".join(_align(cell, i, originals[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Simulated time utilities.
+
+The paper's measurement window runs from 2017-04-11 to 2018-07-27 with a
+five-minute probing interval.  The simulator keeps all timestamps as
+*minutes since the start of the observation window* so that arithmetic is
+exact, cheap and reproducible.  :class:`SimClock` converts between
+simulation minutes and calendar dates, and provides iteration helpers for
+monitoring loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime, timedelta
+from typing import Iterator
+
+MINUTES_PER_HOUR = 60
+MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
+
+#: Default observation window used by the paper (2017-04-11 .. 2018-07-27).
+PAPER_START_DATE = date(2017, 4, 11)
+PAPER_END_DATE = date(2018, 7, 27)
+PAPER_WINDOW_DAYS = (PAPER_END_DATE - PAPER_START_DATE).days
+
+#: Probing interval used by mnm.social (and by our monitor by default).
+DEFAULT_PROBE_INTERVAL_MINUTES = 5
+
+
+def minutes_to_days(minutes: int | float) -> float:
+    """Convert a duration in simulation minutes to fractional days."""
+    return minutes / MINUTES_PER_DAY
+
+
+def days_to_minutes(days: int | float) -> int:
+    """Convert a duration in days to whole simulation minutes."""
+    return int(round(days * MINUTES_PER_DAY))
+
+
+@dataclass
+class SimClock:
+    """A simulated wall clock with minute resolution.
+
+    Parameters
+    ----------
+    start_date:
+        Calendar date corresponding to simulation minute ``0``.
+    window_days:
+        Length of the observation window in days.  Events outside the
+        window are still representable; the window merely bounds the
+        monitoring loops and downtime denominators.
+    """
+
+    start_date: date = PAPER_START_DATE
+    window_days: int = PAPER_WINDOW_DAYS
+    _now: int = field(default=0, repr=False)
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in minutes since the window start."""
+        return self._now
+
+    @property
+    def window_minutes(self) -> int:
+        """Total length of the observation window, in minutes."""
+        return self.window_days * MINUTES_PER_DAY
+
+    @property
+    def end_minute(self) -> int:
+        """The last minute of the observation window (exclusive bound)."""
+        return self.window_minutes
+
+    def advance(self, minutes: int) -> int:
+        """Advance the clock by ``minutes`` and return the new time."""
+        if minutes < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += minutes
+        return self._now
+
+    def set(self, minute: int) -> int:
+        """Set the clock to an absolute simulation minute."""
+        if minute < 0:
+            raise ValueError("simulation time cannot be negative")
+        self._now = minute
+        return self._now
+
+    def reset(self) -> None:
+        """Reset the clock to the window start."""
+        self._now = 0
+
+    def to_datetime(self, minute: int | None = None) -> datetime:
+        """Return the calendar datetime for a simulation minute."""
+        minute = self._now if minute is None else minute
+        base = datetime(self.start_date.year, self.start_date.month, self.start_date.day)
+        return base + timedelta(minutes=minute)
+
+    def to_date(self, minute: int | None = None) -> date:
+        """Return the calendar date for a simulation minute."""
+        return self.to_datetime(minute).date()
+
+    def day_index(self, minute: int | None = None) -> int:
+        """Return the zero-based day number of a simulation minute."""
+        minute = self._now if minute is None else minute
+        return minute // MINUTES_PER_DAY
+
+    def minute_of(self, when: date | datetime) -> int:
+        """Return the simulation minute for a calendar date or datetime."""
+        if isinstance(when, datetime):
+            moment = when
+        else:
+            moment = datetime(when.year, when.month, when.day)
+        base = datetime(self.start_date.year, self.start_date.month, self.start_date.day)
+        delta = moment - base
+        return int(delta.total_seconds() // 60)
+
+    def iter_ticks(
+        self,
+        interval_minutes: int = DEFAULT_PROBE_INTERVAL_MINUTES,
+        start: int = 0,
+        end: int | None = None,
+    ) -> Iterator[int]:
+        """Yield snapshot times (in minutes) across the observation window.
+
+        ``end`` defaults to the end of the window and is exclusive.
+        """
+        if interval_minutes <= 0:
+            raise ValueError("interval must be positive")
+        end = self.window_minutes if end is None else end
+        tick = start
+        while tick < end:
+            yield tick
+            tick += interval_minutes
+
+    def iter_days(self, start_day: int = 0, end_day: int | None = None) -> Iterator[int]:
+        """Yield day indices across the observation window."""
+        end_day = self.window_days if end_day is None else end_day
+        yield from range(start_day, end_day)
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open interval ``[start, end)`` in simulation minutes."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> int:
+        """Length of the window in minutes."""
+        return self.end - self.start
+
+    def contains(self, minute: int) -> bool:
+        """Return whether ``minute`` falls inside the window."""
+        return self.start <= minute < self.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """Return whether this window overlaps another."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "TimeWindow") -> "TimeWindow | None":
+        """Return the overlap with ``other`` or ``None`` if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return TimeWindow(start, end)
+
+    def clamp(self, start: int, end: int) -> "TimeWindow | None":
+        """Clip this window to ``[start, end)``; ``None`` if nothing remains."""
+        return self.intersection(TimeWindow(start, end))
+
+
+def merge_windows(windows: list[TimeWindow]) -> list[TimeWindow]:
+    """Merge overlapping or adjacent :class:`TimeWindow` objects.
+
+    The result is sorted by start time and contains pairwise-disjoint
+    windows covering exactly the union of the inputs.
+    """
+    if not windows:
+        return []
+    ordered = sorted(windows, key=lambda w: (w.start, w.end))
+    merged: list[TimeWindow] = [ordered[0]]
+    for window in ordered[1:]:
+        last = merged[-1]
+        if window.start <= last.end:
+            if window.end > last.end:
+                merged[-1] = TimeWindow(last.start, window.end)
+        else:
+            merged.append(window)
+    return merged
+
+
+def total_duration(windows: list[TimeWindow]) -> int:
+    """Total number of minutes covered by the union of ``windows``."""
+    return sum(w.duration for w in merge_windows(windows))

@@ -1,0 +1,42 @@
+"""Statistical utilities shared across the measurement and analysis code.
+
+The submodules are intentionally dependency-light (numpy only) so that the
+analysis layer can be reused on raw measurement exports without pulling in
+the simulator.
+"""
+
+from repro.stats.distributions import (
+    ECDF,
+    lorenz_curve,
+    pareto_share,
+    sample_lognormal,
+    sample_power_law,
+    sample_zipf_shares,
+    fit_power_law_exponent,
+)
+from repro.stats.summary import (
+    BoxplotStats,
+    boxplot_stats,
+    gini_coefficient,
+    pearson_correlation,
+    percentile,
+    spearman_correlation,
+    summarise,
+)
+
+__all__ = [
+    "ECDF",
+    "BoxplotStats",
+    "boxplot_stats",
+    "fit_power_law_exponent",
+    "gini_coefficient",
+    "lorenz_curve",
+    "pareto_share",
+    "pearson_correlation",
+    "percentile",
+    "sample_lognormal",
+    "sample_power_law",
+    "sample_zipf_shares",
+    "spearman_correlation",
+    "summarise",
+]

@@ -1,0 +1,144 @@
+"""Summary statistics: percentiles, correlation, Gini and box plots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def percentile(sample: Iterable[float], q: float) -> float:
+    """Return the ``q``-th percentile (``0 <= q <= 100``) of a sample."""
+    values = np.asarray([float(v) for v in sample], dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot compute a percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile {q} outside [0, 100]")
+    return float(np.percentile(values, q))
+
+
+def gini_coefficient(sample: Iterable[float]) -> float:
+    """Return the Gini coefficient of a non-negative sample.
+
+    0 means perfectly equal allocation, values towards 1 indicate the
+    heavy concentration the paper repeatedly observes.
+    """
+    values = np.asarray(sorted(float(v) for v in sample), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot compute Gini on an empty sample")
+    if np.any(values < 0):
+        raise AnalysisError("Gini requires non-negative values")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    index = np.arange(1, n + 1, dtype=float)
+    gini = float((2.0 * np.sum(index * values) - (n + 1) * total) / (n * total))
+    # guard against floating-point noise for near-uniform samples
+    return min(1.0, max(0.0, gini))
+
+
+def pearson_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Return the Pearson correlation coefficient between two sequences."""
+    x = np.asarray([float(v) for v in xs], dtype=float)
+    y = np.asarray([float(v) for v in ys], dtype=float)
+    if x.size != y.size:
+        raise AnalysisError("correlation inputs must have equal length")
+    if x.size < 2:
+        raise AnalysisError("correlation requires at least two observations")
+    if np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Return the Spearman rank correlation between two sequences."""
+    x = np.asarray([float(v) for v in xs], dtype=float)
+    y = np.asarray([float(v) for v in ys], dtype=float)
+    if x.size != y.size:
+        raise AnalysisError("correlation inputs must have equal length")
+    if x.size < 2:
+        raise AnalysisError("correlation requires at least two observations")
+
+    def _ranks(values: np.ndarray) -> np.ndarray:
+        order = np.argsort(values, kind="mergesort")
+        ranks = np.empty_like(order, dtype=float)
+        ranks[order] = np.arange(1, values.size + 1, dtype=float)
+        # average ranks for ties
+        unique, inverse, counts = np.unique(values, return_inverse=True, return_counts=True)
+        sums = np.zeros(unique.size)
+        np.add.at(sums, inverse, ranks)
+        return sums[inverse] / counts[inverse]
+
+    return pearson_correlation(_ranks(x), _ranks(y))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """The summary statistics drawn by a box-and-whisker plot."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...] = field(default_factory=tuple)
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(sample: Iterable[float], whisker: float = 1.5) -> BoxplotStats:
+    """Compute Tukey box-plot statistics (used for Fig. 8)."""
+    values = np.asarray(sorted(float(v) for v in sample), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot compute box-plot statistics on an empty sample")
+    q1 = float(np.percentile(values, 25))
+    median = float(np.percentile(values, 50))
+    q3 = float(np.percentile(values, 75))
+    iqr = q3 - q1
+    low_fence = q1 - whisker * iqr
+    high_fence = q3 + whisker * iqr
+    inside = values[(values >= low_fence) & (values <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else q1
+    whisker_high = float(inside.max()) if inside.size else q3
+    outliers = tuple(float(v) for v in values[(values < low_fence) | (values > high_fence)])
+    return BoxplotStats(
+        minimum=float(values.min()),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=float(values.max()),
+        mean=float(values.mean()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=outliers,
+    )
+
+
+def summarise(sample: Iterable[float]) -> Mapping[str, float]:
+    """Return a dictionary of common summary statistics for a sample."""
+    values = np.asarray([float(v) for v in sample], dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot summarise an empty sample")
+    return {
+        "count": float(values.size),
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "p25": float(np.percentile(values, 25)),
+        "median": float(np.percentile(values, 50)),
+        "p75": float(np.percentile(values, 75)),
+        "p95": float(np.percentile(values, 95)),
+        "p99": float(np.percentile(values, 99)),
+        "max": float(values.max()),
+        "sum": float(values.sum()),
+    }

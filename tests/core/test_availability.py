@@ -1,0 +1,234 @@
+"""Tests for the availability analyses (Figs. 7-10, Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import availability
+from repro.crawler.monitor import InstanceSnapshot, MonitoringLog
+from repro.datasets.instances import InstanceMetadata, InstancesDataset
+from repro.datasets.twitter import twitter_daily_downtime
+from repro.errors import AnalysisError
+from repro.fediverse.certificates import CertificateRegistry
+from repro.fediverse.geo import GeoDatabase
+from repro.simtime import MINUTES_PER_DAY
+
+
+def make_dataset(days: int = 10, probes_per_day: int = 4) -> InstancesDataset:
+    """Three instances: one solid, one flaky, one that dies and never returns."""
+    interval = MINUTES_PER_DAY // probes_per_day
+    log = MonitoringLog(interval_minutes=interval)
+    total_probes = days * probes_per_day
+    for tick in range(total_probes):
+        minute = tick * interval
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain="solid.example", minute=minute, online=True,
+                user_count=500, toot_count=20_000,
+            )
+        )
+        # flaky: offline every fourth probe, plus a two-day outage mid-window
+        flaky_online = (tick % 4 != 3) and not (4 * probes_per_day <= tick < 6 * probes_per_day)
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain="flaky.example", minute=minute, online=flaky_online,
+                user_count=50, toot_count=800,
+            )
+        )
+        # doomed: goes down for good after day 2
+        doomed_online = tick < 2 * probes_per_day
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain="doomed.example", minute=minute, online=doomed_online,
+                user_count=20, toot_count=300,
+            )
+        )
+    metadata = {
+        "solid.example": InstanceMetadata(
+            domain="solid.example", country="JP", asn=9370,
+            as_name="SAKURA Internet Inc.", ip_address="10.0.0.1",
+            certificate_authority="Let's Encrypt",
+        ),
+        "flaky.example": InstanceMetadata(
+            domain="flaky.example", country="US", asn=16509,
+            as_name="Amazon.com, Inc.", ip_address="10.0.1.1",
+            certificate_authority="Let's Encrypt",
+        ),
+        "doomed.example": InstanceMetadata(
+            domain="doomed.example", country="FR", asn=16276,
+            as_name="OVH SAS", ip_address="10.0.2.1",
+            certificate_authority="COMODO",
+        ),
+    }
+    return InstancesDataset(log=log, metadata=metadata)
+
+
+class TestPersistentFailures:
+    def test_doomed_instance_detected(self):
+        dataset = make_dataset()
+        assert availability.persistently_failed_domains(dataset) == ["doomed.example"]
+
+
+class TestDowntime:
+    def test_downtime_cdf_excludes_persistent_failures(self):
+        dataset = make_dataset()
+        cdf = availability.downtime_cdf(dataset)
+        assert len(cdf) == 2
+        included = availability.downtime_cdf(dataset, exclude_persistent=False)
+        assert len(included) == 3
+
+    def test_headlines(self):
+        headlines = availability.downtime_headlines(make_dataset())
+        assert headlines["share_below_5pct_downtime"] == pytest.approx(0.5)
+        assert headlines["share_above_50pct_downtime"] == 0.0
+        assert 0.0 < headlines["mean_downtime"] < 0.5
+
+    def test_unavailability_impact_only_for_failing_instances(self):
+        impacts = availability.unavailability_impact(make_dataset(), {"flaky.example": 7})
+        assert len(impacts) == 1
+        assert impacts[0].domain == "flaky.example"
+        assert impacts[0].users == 50
+        assert impacts[0].boosts == 7
+
+    def test_popularity_downtime_correlation_is_weak_or_negative(self):
+        value = availability.popularity_downtime_correlation(make_dataset())
+        assert -1.0 <= value <= 0.5
+
+    def test_pipeline_downtime_shape(self, datasets):
+        headlines = availability.downtime_headlines(datasets.instances)
+        assert headlines["share_above_50pct_downtime"] < 0.4
+        assert 0.0 < headlines["mean_downtime"] < 0.5
+
+
+class TestDailyDowntimeBins:
+    def test_bins_and_twitter_comparison(self):
+        dataset = make_dataset()
+        bins = availability.daily_downtime_by_popularity(dataset, bin_edges=(1_000, 10_000))
+        labels = [b.label for b in bins]
+        # the middle bin has no members in this fixture and is dropped
+        assert labels == ["<1000", ">10000"]
+        by_label = {b.label: b for b in bins}
+        assert by_label[">10000"].stats.mean == 0.0
+        assert by_label["<1000"].stats.mean > 0.0
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(AnalysisError):
+            availability.daily_downtime_by_popularity(make_dataset(), bin_edges=())
+        with pytest.raises(AnalysisError):
+            availability.daily_downtime_by_popularity(make_dataset(), bin_edges=(100, 10))
+
+    def test_scaled_bins_proportional(self):
+        edges = availability.scaled_toot_bins(make_dataset())
+        assert len(edges) == 3
+        assert edges[0] < edges[1] < edges[2]
+
+    def test_twitter_comparison(self):
+        comparison = availability.twitter_downtime_comparison(
+            make_dataset(), twitter_daily_downtime(100, seed=3)
+        )
+        assert comparison["mastodon_mean_downtime"] > comparison["twitter_mean_downtime"]
+        assert comparison["ratio"] > 1.0
+
+
+class TestOutageDurations:
+    def test_report_counts_long_outages(self):
+        report = availability.outage_durations(make_dataset(), min_days=1.0)
+        assert report.share_of_instances_down_at_least_once == 0.5
+        assert report.share_down_at_least_one_day == 0.5
+        assert report.affected_users == 50
+        assert len(report.durations_days) == 1
+        assert report.durations_days[0] == pytest.approx(2.0, rel=0.2)
+
+    def test_pipeline_outage_durations(self, datasets):
+        report = availability.outage_durations(datasets.instances, min_days=0.25)
+        assert 0.0 < report.share_of_instances_down_at_least_once <= 1.0
+
+
+class TestCertificates:
+    def test_footprint_shares(self):
+        footprint = availability.certificate_footprint(make_dataset())
+        assert footprint["Let's Encrypt"] == pytest.approx(2 / 3)
+        assert footprint["COMODO"] == pytest.approx(1 / 3)
+
+    def test_footprint_requires_metadata(self):
+        log = MonitoringLog(interval_minutes=60)
+        log.snapshots.append(InstanceSnapshot(domain="x.example", minute=0, online=True))
+        with pytest.raises(AnalysisError):
+            availability.certificate_footprint(InstancesDataset(log))
+
+    def test_expiry_outage_series(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=3)
+        registry.issue("b.example", "Let's Encrypt", issued_at=0, validity_days=90)
+        series = availability.certificate_expiry_outages(registry, window_days=6)
+        assert series[2] == 0
+        assert series[4] == 1
+
+    def test_certificate_outage_share(self):
+        dataset = make_dataset()
+        registry = CertificateRegistry()
+        # flaky.example's certificate lapses over the big mid-window outage
+        registry.issue("flaky.example", "Let's Encrypt", issued_at=0, validity_days=4)
+        registry.issue(
+            "flaky.example", "Let's Encrypt", issued_at=7 * MINUTES_PER_DAY, validity_days=90
+        )
+        share = availability.certificate_outage_share(dataset, registry)
+        assert 0.0 < share < 1.0
+
+
+class TestASFailures:
+    def make_as_failure_dataset(self) -> InstancesDataset:
+        log = MonitoringLog(interval_minutes=60)
+        domains = [f"sakura{i}.example" for i in range(3)] + ["lonely.example"]
+        for tick in range(6):
+            minute = tick * 60
+            # every sakura instance fails simultaneously at ticks 2 and 3
+            sakura_online = tick not in (2, 3)
+            for domain in domains[:3]:
+                log.snapshots.append(
+                    InstanceSnapshot(
+                        domain=domain, minute=minute, online=sakura_online,
+                        user_count=10, toot_count=100,
+                    )
+                )
+            log.snapshots.append(
+                InstanceSnapshot(
+                    domain="lonely.example", minute=minute, online=tick != 2,
+                    user_count=5, toot_count=50,
+                )
+            )
+        metadata = {
+            domain: InstanceMetadata(
+                domain=domain, country="JP", asn=9370,
+                as_name="SAKURA Internet Inc.", ip_address=f"10.0.0.{i}",
+            )
+            for i, domain in enumerate(domains[:3])
+        }
+        metadata["lonely.example"] = InstanceMetadata(
+            domain="lonely.example", country="US", asn=16509,
+            as_name="Amazon.com, Inc.", ip_address="10.9.9.9",
+        )
+        return InstancesDataset(log=log, metadata=metadata)
+
+    def test_detects_simultaneous_as_failure(self):
+        dataset = self.make_as_failure_dataset()
+        reports = availability.detect_as_failures(dataset, geo=GeoDatabase(), min_instances=3)
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.asn == 9370
+        assert report.instances == 3
+        assert report.failures == 1
+        assert report.users == 30
+        assert report.ips == 3
+        assert report.organisation.startswith("SAKURA")
+        assert report.peers == 10
+
+    def test_min_instances_filter(self):
+        dataset = self.make_as_failure_dataset()
+        assert availability.detect_as_failures(dataset, min_instances=4) == []
+
+    def test_pipeline_detects_generated_as_outages(self, datasets, tiny_network):
+        reports = availability.detect_as_failures(
+            datasets.instances, geo=tiny_network.geo, min_instances=2
+        )
+        assert isinstance(reports, list)

@@ -1,0 +1,103 @@
+"""Tests for category and activity-policy breakdowns (Figs. 3-4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import categories
+from repro.crawler.monitor import InstanceSnapshot, MonitoringLog
+from repro.datasets.instances import InstanceMetadata, InstancesDataset
+from repro.errors import AnalysisError
+
+
+def make_dataset() -> InstancesDataset:
+    """Five instances: three tagged (tech, adult, tech+games), two untagged."""
+    spec = {
+        "tech.example": ((u := 100), 1_000, ("tech",), (), ("spam",), False),
+        "adult.example": (900, 5_000, ("adult",), ("pornography_with_nsfw",), ("spam",), False),
+        "mixed.example": (50, 2_000, ("tech", "games"), (), (), True),
+        "plain1.example": (500, 9_000, (), (), (), False),
+        "plain2.example": (300, 3_000, (), (), (), False),
+    }
+    log = MonitoringLog(interval_minutes=60)
+    metadata = {}
+    for domain, (users, toots, cats, allowed, prohibited, allows_all) in spec.items():
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain=domain, minute=0, online=True, user_count=users, toot_count=toots
+            )
+        )
+        metadata[domain] = InstanceMetadata(
+            domain=domain,
+            categories=cats,
+            allowed_activities=allowed,
+            prohibited_activities=prohibited,
+            allows_all_activities=allows_all,
+        )
+    return InstancesDataset(log=log, metadata=metadata)
+
+
+class TestTaggingCoverage:
+    def test_coverage_fractions(self):
+        coverage = categories.tagging_coverage(make_dataset())
+        assert coverage["tagged_instances"] == 3
+        assert coverage["instance_coverage"] == pytest.approx(3 / 5)
+        assert coverage["user_coverage"] == pytest.approx(1050 / 1850)
+        assert coverage["toot_coverage"] == pytest.approx(8000 / 20_000)
+
+    def test_pipeline_tagging_minority(self, datasets):
+        coverage = categories.tagging_coverage(datasets.instances)
+        assert 0.0 < coverage["instance_coverage"] < 0.5
+
+
+class TestCategoryBreakdown:
+    def test_shares_relative_to_tagged_subset(self):
+        breakdown = {share.category: share for share in categories.category_breakdown(make_dataset())}
+        assert breakdown["tech"].instances == 2
+        assert breakdown["tech"].instance_share == pytest.approx(2 / 3)
+        assert breakdown["adult"].instance_share == pytest.approx(1 / 3)
+        # adult: few instances, most users (the paper's outlier)
+        assert breakdown["adult"].user_share > breakdown["tech"].user_share
+        assert breakdown["games"].instances == 1
+
+    def test_sorted_by_instance_share(self):
+        shares = categories.category_breakdown(make_dataset())
+        fractions = [share.instance_share for share in shares]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_no_tagged_instances_raises(self):
+        log = MonitoringLog(interval_minutes=60)
+        log.snapshots.append(InstanceSnapshot(domain="a.example", minute=0, online=True))
+        dataset = InstancesDataset(log=log)
+        with pytest.raises(AnalysisError):
+            categories.category_breakdown(dataset)
+
+    def test_pipeline_breakdown_has_multiple_categories(self, datasets):
+        shares = categories.category_breakdown(datasets.instances)
+        assert len(shares) >= 3
+        assert all(0.0 <= share.instance_share <= 1.0 for share in shares)
+
+
+class TestActivityBreakdown:
+    def test_prohibit_and_allow_shares(self):
+        shares = {share.activity: share for share in categories.activity_breakdown(make_dataset())}
+        spam = shares["spam"]
+        assert spam.prohibiting_instances == 2
+        assert spam.prohibit_instance_share == pytest.approx(2 / 3)
+        # the allows-all instance counts as allowing spam
+        assert spam.allowing_instances == 1
+        porn = shares["pornography_with_nsfw"]
+        assert porn.allowing_instances == 2  # explicit allow + allows-all
+        assert porn.allow_user_share == pytest.approx((900 + 50) / 1050)
+
+    def test_policy_coverage(self):
+        coverage = categories.policy_coverage(make_dataset())
+        assert coverage["tagged"] == 3
+        assert coverage["allow_all_share"] == pytest.approx(1 / 3)
+        assert coverage["with_prohibition_share"] == pytest.approx(2 / 3)
+
+    def test_pipeline_spam_is_most_prohibited(self, datasets):
+        shares = categories.activity_breakdown(datasets.instances)
+        assert shares, "expected at least one activity share"
+        most_prohibited = shares[0]
+        assert most_prohibited.prohibit_instance_share >= shares[-1].prohibit_instance_share

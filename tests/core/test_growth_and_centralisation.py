@@ -1,0 +1,118 @@
+"""Tests for the growth (Fig. 1) and concentration (Fig. 2, §4.1) analyses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import centralisation, growth
+from repro.crawler.monitor import InstanceSnapshot, MonitoringLog
+from repro.datasets.instances import InstanceMetadata, InstancesDataset
+from repro.errors import AnalysisError
+from repro.simtime import MINUTES_PER_DAY
+
+
+def make_dataset() -> InstancesDataset:
+    """Four instances with controlled counts: two open (big), two closed."""
+    log = MonitoringLog(interval_minutes=MINUTES_PER_DAY)
+    counts = {
+        "big-open.example": (1000, 20_000, True, 300),
+        "mid-open.example": (100, 2_000, True, 40),
+        "small-closed.example": (20, 1_500, False, 15),
+        "tiny-closed.example": (5, 400, False, 5),
+    }
+    for day in range(3):
+        for domain, (users, toots, is_open, logins) in counts.items():
+            exists = not (domain == "mid-open.example" and day == 0)
+            log.snapshots.append(
+                InstanceSnapshot(
+                    domain=domain,
+                    minute=day * MINUTES_PER_DAY,
+                    online=exists,
+                    exists=exists,
+                    user_count=users if exists else 0,
+                    toot_count=toots if exists else 0,
+                    registrations_open=is_open,
+                    logins_week=logins if exists else 0,
+                )
+            )
+    metadata = {
+        domain: InstanceMetadata(domain=domain, registration_open=is_open)
+        for domain, (_, _, is_open, _) in counts.items()
+    }
+    return InstancesDataset(log=log, metadata=metadata)
+
+
+class TestGrowth:
+    def test_timeseries_counts_instances_as_they_appear(self):
+        dataset = make_dataset()
+        series = growth.growth_timeseries(dataset)
+        assert len(series) == 3
+        assert series[0].instances == 3
+        assert series[1].instances == 4
+        assert series[-1].users == 1125
+        assert series[-1].toots == 23_900
+
+    def test_summary_fields(self):
+        summary = growth.growth_summary(make_dataset())
+        assert summary["final_instances"] == 4
+        assert summary["final_users"] == 1125
+        assert summary["instance_growth_first_half"] > 0
+
+    def test_pipeline_growth_is_monotone_in_instances(self, datasets):
+        series = growth.growth_timeseries(datasets.instances)
+        instance_counts = [point.instances for point in series]
+        assert instance_counts == sorted(instance_counts)
+        assert series[-1].users > 0
+
+
+class TestRegistrationSplit:
+    def test_split_counts(self):
+        split = centralisation.registration_split(make_dataset())
+        assert split.open_instances == 2
+        assert split.closed_instances == 2
+        assert split.open_users == 1100
+        assert split.closed_users == 25
+        assert split.open_user_share == pytest.approx(1100 / 1125)
+        assert split.mean_users_open == pytest.approx(550)
+        assert split.mean_users_closed == pytest.approx(12.5)
+
+    def test_closed_instances_more_prolific_per_capita(self):
+        split = centralisation.registration_split(make_dataset())
+        assert split.toots_per_user_closed > split.toots_per_user_open
+
+    def test_pipeline_open_instances_hold_most_users(self, datasets):
+        split = centralisation.registration_split(datasets.instances)
+        assert split.open_user_share > 0.5
+        assert split.open_instance_share < 0.75
+
+
+class TestCDFsAndConcentration:
+    def test_per_instance_count_cdfs_keys(self):
+        cdfs = centralisation.per_instance_count_cdfs(make_dataset())
+        assert set(cdfs) == {"users_open", "users_closed", "toots_open", "toots_closed"}
+        assert cdfs["users_open"].quantile(1.0) == 1000
+
+    def test_activity_level_cdfs(self):
+        cdfs = centralisation.activity_level_cdfs(make_dataset())
+        assert set(cdfs) == {"all", "open", "closed"}
+        assert 0.0 <= cdfs["all"].quantile(0.5) <= 1.0
+
+    def test_concentration_metrics(self):
+        metrics = centralisation.concentration_metrics(make_dataset())
+        assert metrics["top5pct_user_share"] >= 1000 / 1125 * 0.99
+        assert metrics["top10pct_user_share"] >= metrics["top5pct_user_share"] - 1e-9
+        assert 0.0 <= metrics["user_gini"] <= 1.0
+
+    def test_smallest_fraction_hosting_share(self):
+        dataset = make_dataset()
+        fraction = centralisation.smallest_fraction_hosting_share(dataset, share=0.5)
+        assert fraction == pytest.approx(0.25)
+        with pytest.raises(AnalysisError):
+            centralisation.smallest_fraction_hosting_share(dataset, share=0.0)
+
+    def test_pipeline_population_is_concentrated(self, datasets):
+        metrics = centralisation.concentration_metrics(datasets.instances)
+        assert metrics["top10pct_user_share"] > 0.3
+        assert metrics["user_gini"] > 0.5
+        fraction = centralisation.smallest_fraction_hosting_share(datasets.instances, 0.5)
+        assert fraction < 0.25

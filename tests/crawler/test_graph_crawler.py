@@ -1,0 +1,84 @@
+"""Tests for the follower-graph crawler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.graph_crawler import FollowEdgeRecord, FollowerGraphCrawler
+from repro.crawler.http import SimulatedTransport
+from repro.fediverse.uptime import Outage
+from repro.simtime import TimeWindow
+from tests.conftest import build_mini_network, ref
+
+
+@pytest.fixture()
+def network():
+    net = build_mini_network()
+    net.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+    net.follow(ref("chloe@gamma.example"), ref("alice@alpha.example"))
+    net.follow(ref("akira@alpha.example"), ref("alice@alpha.example"))
+    net.follow(ref("alice@alpha.example"), ref("bob@beta.example"))
+    # only accounts that tooted are crawled
+    net.post_toot(ref("alice@alpha.example"), created_at=10)
+    net.post_toot(ref("bob@beta.example"), created_at=20)
+    return net
+
+
+class TestFollowEdgeRecord:
+    def test_domain_helpers(self):
+        edge = FollowEdgeRecord(follower="a@x.example", followed="b@y.example")
+        assert edge.follower_domain == "x.example"
+        assert edge.followed_domain == "y.example"
+        assert edge.is_remote
+        assert not FollowEdgeRecord("a@x.example", "b@x.example").is_remote
+
+
+class TestAccountDiscovery:
+    def test_only_tooting_accounts_listed(self, network):
+        crawler = FollowerGraphCrawler(SimulatedTransport(network))
+        accounts = crawler.list_accounts("alpha.example", at_minute=5000)
+        assert accounts == ["alice"]
+        everyone = crawler.list_accounts("alpha.example", at_minute=5000, tooted_only=False)
+        assert set(everyone) == {"alice", "akira"}
+
+    def test_directory_paging_used(self, network):
+        crawler = FollowerGraphCrawler(SimulatedTransport(network), directory_page_size=1)
+        everyone = crawler.list_accounts("alpha.example", at_minute=5000, tooted_only=False)
+        assert set(everyone) == {"alice", "akira"}
+
+
+class TestEgoNetworks:
+    def test_crawl_followers_emits_incoming_edges(self, network):
+        crawler = FollowerGraphCrawler(SimulatedTransport(network))
+        edges = crawler.crawl_followers("alpha.example", "alice", at_minute=5000)
+        followers = {edge.follower for edge in edges}
+        assert followers == {
+            "bob@beta.example",
+            "chloe@gamma.example",
+            "akira@alpha.example",
+        }
+        assert all(edge.followed == "alice@alpha.example" for edge in edges)
+
+    def test_crawl_instance_covers_all_tooting_accounts(self, network):
+        crawler = FollowerGraphCrawler(SimulatedTransport(network))
+        edges = crawler.crawl_instance("alpha.example", at_minute=5000)
+        assert len(edges) == 3
+
+
+class TestFullCrawl:
+    def test_crawl_collects_edges_and_accounts(self, network):
+        crawler = FollowerGraphCrawler(SimulatedTransport(network), threads=3)
+        result = crawler.crawl()
+        assert ("bob@beta.example", "alice@alpha.example") in result.unique_edges()
+        assert ("alice@alpha.example", "bob@beta.example") in result.unique_edges()
+        assert "alice@alpha.example" in result.accounts_seen
+        assert result.failures == {}
+
+    def test_offline_instances_skipped(self, network):
+        network.availability.add_outage(
+            Outage("alpha.example", TimeWindow(0, network.clock.window_minutes))
+        )
+        crawler = FollowerGraphCrawler(SimulatedTransport(network), threads=3)
+        result = crawler.crawl()
+        # edges towards alice cannot be observed because alpha is unreachable
+        assert all(edge.followed_domain != "alpha.example" for edge in result.edges)

@@ -1,0 +1,175 @@
+"""Tests for the simulated HTTP transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CrawlBlockedError,
+    HTTPError,
+    InstanceUnavailableError,
+    RateLimitError,
+)
+from repro.crawler.http import SimulatedTransport, toot_to_payload
+from repro.fediverse import InstanceDescriptor
+from repro.fediverse.entities import Visibility
+from repro.fediverse.uptime import Outage
+from repro.simtime import TimeWindow
+from tests.conftest import build_mini_network, ref
+
+
+@pytest.fixture()
+def network():
+    net = build_mini_network()
+    net.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+    net.post_toot(ref("alice@alpha.example"), created_at=10, hashtags=("cats",))
+    net.post_toot(ref("alice@alpha.example"), created_at=20, visibility=Visibility.PRIVATE)
+    net.post_toot(ref("bob@beta.example"), created_at=30)
+    return net
+
+
+@pytest.fixture()
+def transport(network):
+    return SimulatedTransport(network)
+
+
+class TestInstanceEndpoint:
+    def test_instance_document(self, transport):
+        response = transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+        assert response.status == 200
+        assert response.payload["uri"] == "alpha.example"
+        assert response.payload["stats"]["user_count"] == 2
+
+    def test_unknown_domain_404(self, transport):
+        with pytest.raises(HTTPError) as excinfo:
+            transport.get("https://missing.example/api/v1/instance", at_minute=100)
+        assert excinfo.value.status == 404
+
+    def test_not_yet_created_instance_404(self, network):
+        network.add_instance(InstanceDescriptor(domain="late.example", created_at=5000))
+        transport = SimulatedTransport(network)
+        with pytest.raises(HTTPError):
+            transport.get("https://late.example/api/v1/instance", at_minute=100)
+        assert transport.get("https://late.example/api/v1/instance", at_minute=6000).status == 200
+
+    def test_offline_instance_503(self, network):
+        network.availability.add_outage(Outage("alpha.example", TimeWindow(0, 1000)))
+        transport = SimulatedTransport(network)
+        with pytest.raises(InstanceUnavailableError):
+            transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+
+    def test_unknown_endpoint_404(self, transport):
+        with pytest.raises(HTTPError):
+            transport.get("https://alpha.example/api/v1/unknown", at_minute=100)
+
+
+class TestTimelineEndpoint:
+    def test_federated_timeline_returns_public_toots_only(self, transport):
+        response = transport.get(
+            "https://alpha.example/api/v1/timelines/public?limit=40", at_minute=100
+        )
+        payloads = response.payload
+        assert all(item["visibility"] == "public" for item in payloads)
+        accounts = {item["account"] for item in payloads}
+        assert "alice@alpha.example" in accounts
+
+    def test_local_timeline_excludes_remote(self, network):
+        transport = SimulatedTransport(network)
+        response = transport.get(
+            "https://beta.example/api/v1/timelines/public?local=true", at_minute=100
+        )
+        assert all(item["account_domain"] == "beta.example" for item in response.payload)
+        federated = transport.get(
+            "https://beta.example/api/v1/timelines/public?local=false", at_minute=100
+        )
+        assert any(item["account_domain"] == "alpha.example" for item in federated.payload)
+
+    def test_max_id_paging(self, network):
+        transport = SimulatedTransport(network)
+        for index in range(60):
+            network.post_toot(ref("alice@alpha.example"), created_at=100 + index)
+        first = transport.get(
+            "https://alpha.example/api/v1/timelines/public?limit=40", at_minute=5000
+        )
+        assert len(first.payload) == 40
+        oldest = min(item["id"] for item in first.payload)
+        second = transport.get(
+            f"https://alpha.example/api/v1/timelines/public?limit=40&max_id={oldest}",
+            at_minute=5000,
+        )
+        assert all(item["id"] < oldest for item in second.payload)
+
+    def test_crawl_blocked_instance_403(self, network):
+        network.add_instance(InstanceDescriptor(domain="blocked.example", crawl_blocked=True))
+        network.register_user("blocked.example", "dora", created_at=0)
+        transport = SimulatedTransport(network)
+        with pytest.raises(CrawlBlockedError):
+            transport.get("https://blocked.example/api/v1/timelines/public", at_minute=100)
+        # the instance API itself still answers
+        assert transport.get("https://blocked.example/api/v1/instance", at_minute=100).status == 200
+
+
+class TestDirectoryAndFollowers:
+    def test_directory_lists_accounts_with_status_counts(self, transport):
+        response = transport.get("https://alpha.example/api/v1/directory", at_minute=100)
+        by_name = {entry["username"]: entry for entry in response.payload}
+        assert set(by_name) == {"alice", "akira"}
+        assert by_name["alice"]["statuses_count"] == 2
+
+    def test_directory_paging(self, transport):
+        response = transport.get(
+            "https://alpha.example/api/v1/directory?page=1&per_page=1", at_minute=100
+        )
+        assert len(response.payload) == 1
+        second = transport.get(
+            "https://alpha.example/api/v1/directory?page=2&per_page=1", at_minute=100
+        )
+        assert len(second.payload) == 1
+        assert response.payload[0]["username"] != second.payload[0]["username"]
+
+    def test_followers_endpoint(self, transport):
+        response = transport.get(
+            "https://alpha.example/users/alice/followers?page=1", at_minute=100
+        )
+        assert response.payload["total"] == 1
+        assert response.payload["followers"] == ["bob@beta.example"]
+        assert response.payload["has_more"] is False
+
+    def test_followers_unknown_user(self, transport):
+        with pytest.raises(HTTPError):
+            transport.get("https://alpha.example/users/ghost/followers", at_minute=100)
+
+
+class TestTransportBookkeeping:
+    def test_stats_counted(self, transport):
+        transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+        transport.get("https://beta.example/api/v1/instance", at_minute=100)
+        assert transport.stats.requests == 2
+        assert transport.stats.by_domain["alpha.example"] == 1
+
+    def test_rate_limit(self, network):
+        transport = SimulatedTransport(network, rate_limit_per_domain=2)
+        transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+        transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+        with pytest.raises(RateLimitError):
+            transport.get("https://alpha.example/api/v1/instance", at_minute=100)
+        transport.reset_budget("alpha.example")
+        assert transport.get("https://alpha.example/api/v1/instance", at_minute=100).status == 200
+
+    def test_known_domains(self, transport):
+        assert transport.known_domains() == [
+            "alpha.example",
+            "beta.example",
+            "gamma.example",
+        ]
+
+
+class TestTootPayload:
+    def test_payload_fields(self, network):
+        alpha = network.get_instance("alpha.example")
+        toot = alpha.local_toots()[0]
+        payload = toot_to_payload(toot, collected_from="beta.example")
+        assert payload["collected_from"] == "beta.example"
+        assert payload["account"] == "alice@alpha.example"
+        assert payload["tags"] == ["cats"]
+        assert payload["url"] == toot.url

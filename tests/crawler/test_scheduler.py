@@ -1,0 +1,92 @@
+"""Tests for the crawl scheduler and the politeness rate limiter."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, CrawlError
+from repro.crawler.scheduler import CrawlScheduler, RateLimiter
+
+
+class TestRateLimiter:
+    def test_counts_acquisitions(self):
+        limiter = RateLimiter(delay_seconds=0.0)
+        limiter.acquire("a.example")
+        limiter.acquire("a.example")
+        limiter.acquire("b.example")
+        assert limiter.acquired == {"a.example": 2, "b.example": 1}
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RateLimiter(delay_seconds=-1)
+
+    def test_delay_enforced_between_requests(self):
+        limiter = RateLimiter(delay_seconds=0.05)
+        limiter.acquire("a.example")
+        started = time.monotonic()
+        limiter.acquire("a.example")
+        assert time.monotonic() - started >= 0.04
+
+    def test_delay_not_applied_across_keys(self):
+        limiter = RateLimiter(delay_seconds=0.2)
+        limiter.acquire("a.example")
+        started = time.monotonic()
+        limiter.acquire("b.example")
+        assert time.monotonic() - started < 0.15
+
+
+class TestCrawlScheduler:
+    def test_runs_every_key_and_collects_results(self):
+        scheduler = CrawlScheduler(threads=4)
+        report = scheduler.run(["a", "b", "c"], lambda key: key.upper())
+        assert report.results() == {"a": "A", "b": "B", "c": "C"}
+        assert report.failed == []
+
+    def test_errors_are_recorded_per_key(self):
+        scheduler = CrawlScheduler(threads=2)
+
+        def worker(key: str) -> str:
+            if key == "bad":
+                raise ValueError("boom")
+            return key
+
+        report = scheduler.run(["good", "bad"], worker)
+        assert [outcome.key for outcome in report.failed] == ["bad"]
+        assert "boom" in str(report.errors()["bad"])
+        assert report.results() == {"good": "good"}
+
+    def test_errors_can_propagate(self):
+        scheduler = CrawlScheduler(threads=1)
+        with pytest.raises(CrawlError):
+            scheduler.run(["x"], lambda key: 1 / 0, swallow_errors=False)
+
+    def test_empty_key_list(self):
+        scheduler = CrawlScheduler(threads=2)
+        report = scheduler.run([], lambda key: key)
+        assert report.outcomes == []
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ConfigurationError):
+            CrawlScheduler(threads=0)
+
+    def test_parallelism_actually_used(self):
+        scheduler = CrawlScheduler(threads=8)
+        seen_threads: set[str] = set()
+        lock = threading.Lock()
+
+        def worker(key: str) -> str:
+            with lock:
+                seen_threads.add(threading.current_thread().name)
+            time.sleep(0.01)
+            return key
+
+        scheduler.run([str(i) for i in range(16)], worker)
+        assert len(seen_threads) > 1
+
+    def test_outcomes_sorted_by_key(self):
+        scheduler = CrawlScheduler(threads=4)
+        report = scheduler.run(["c", "a", "b"], lambda key: key)
+        assert [outcome.key for outcome in report.outcomes] == ["a", "b", "c"]

@@ -1,0 +1,104 @@
+"""Tests for the federated-timeline toot crawler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crawler.http import SimulatedTransport
+from repro.crawler.toot_crawler import TootCrawler, TootRecord
+from repro.fediverse import InstanceDescriptor
+from repro.fediverse.entities import Visibility
+from repro.fediverse.uptime import Outage
+from repro.simtime import TimeWindow
+from tests.conftest import build_mini_network, ref
+
+
+@pytest.fixture()
+def network():
+    net = build_mini_network()
+    net.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+    for index in range(90):
+        net.post_toot(ref("alice@alpha.example"), created_at=10 + index)
+    net.post_toot(ref("alice@alpha.example"), created_at=500, visibility=Visibility.PRIVATE)
+    net.post_toot(ref("bob@beta.example"), created_at=600)
+    return net
+
+
+class TestCrawlInstance:
+    def test_full_history_collected(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=2, page_limit=25)
+        records = crawler.crawl_instance("alpha.example", at_minute=5000)
+        # 90 public toots by alice; the private toot is not crawlable
+        assert len(records) == 90
+        assert all(isinstance(record, TootRecord) for record in records)
+        assert all(not record.is_remote for record in records)
+
+    def test_remote_toots_marked(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=2)
+        records = crawler.crawl_instance("beta.example", at_minute=5000)
+        remote = [record for record in records if record.is_remote]
+        local = [record for record in records if not record.is_remote]
+        assert len(remote) == 90      # alice's toots delivered to bob's instance
+        assert len(local) == 1
+
+    def test_max_pages_cap(self, network):
+        crawler = TootCrawler(
+            SimulatedTransport(network), page_limit=10, max_pages_per_instance=3
+        )
+        records = crawler.crawl_instance("alpha.example", at_minute=5000)
+        assert len(records) == 30
+
+
+class TestFullCrawl:
+    def test_crawl_skips_offline_and_blocked(self, network):
+        network.add_instance(
+            InstanceDescriptor(domain="blocked.example", crawl_blocked=True)
+        )
+        network.register_user("blocked.example", "dora", created_at=0)
+        network.post_toot(ref("dora@blocked.example"), created_at=700)
+        network.availability.add_outage(
+            Outage("gamma.example", TimeWindow(0, network.clock.window_minutes))
+        )
+        crawler = TootCrawler(SimulatedTransport(network), threads=4)
+        result = crawler.crawl()
+        assert "gamma.example" in result.skipped_offline
+        assert "blocked.example" in result.skipped_blocked
+        assert "alpha.example" in result.crawled_instances
+        assert result.failures == {}
+
+    def test_unique_toots_deduplicated_across_instances(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=4)
+        result = crawler.crawl()
+        unique = result.unique_toots()
+        # alice's 90 public toots + bob's toot, each counted once even though
+        # alice's toots also appear on beta's federated timeline
+        assert len(unique) == 91
+        assert len(result.all_records()) > len(unique)
+
+    def test_crawl_default_minute_is_window_end(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=2)
+        result = crawler.crawl()
+        assert result.crawl_minute == network.clock.window_minutes - 1
+
+
+class TestTootRecord:
+    def test_from_payload_roundtrip(self, network):
+        crawler = TootCrawler(SimulatedTransport(network))
+        record = crawler.crawl_instance("beta.example", at_minute=5000)[0]
+        assert record.url.startswith("https://")
+        assert record.collected_from == "beta.example"
+        assert record.toot_id > 0
+
+    def test_boost_flag_from_payload(self):
+        record = TootRecord.from_payload(
+            {
+                "id": 5,
+                "url": "https://x.example/@a/5",
+                "account": "a@x.example",
+                "account_domain": "x.example",
+                "collected_from": "x.example",
+                "created_at": 9,
+                "reblog_of_id": 3,
+            }
+        )
+        assert record.is_boost

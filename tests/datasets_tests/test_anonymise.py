@@ -1,0 +1,83 @@
+"""Tests for handle pseudonymisation."""
+
+from __future__ import annotations
+
+from repro.crawler.graph_crawler import FollowEdgeRecord
+from repro.crawler.toot_crawler import TootRecord
+from repro.datasets.anonymise import Anonymiser
+
+
+def make_record() -> TootRecord:
+    return TootRecord(
+        toot_id=1,
+        url="https://a.example/@alice/1",
+        account="alice@a.example",
+        author_domain="a.example",
+        collected_from="b.example",
+        created_at=10,
+    )
+
+
+class TestPseudonyms:
+    def test_deterministic_for_same_salt(self):
+        anonymiser = Anonymiser(salt="fixed")
+        assert anonymiser.pseudonym("alice@a.example") == anonymiser.pseudonym("alice@a.example")
+
+    def test_different_salt_differs(self):
+        first = Anonymiser(salt="one").pseudonym("alice@a.example")
+        second = Anonymiser(salt="two").pseudonym("alice@a.example")
+        assert first != second
+
+    def test_domain_preserved_username_hidden(self):
+        pseudonym = Anonymiser(salt="s").pseudonym("alice@a.example")
+        assert pseudonym.endswith("@a.example")
+        assert "alice" not in pseudonym
+
+    def test_distinct_users_get_distinct_pseudonyms(self):
+        anonymiser = Anonymiser(salt="s")
+        assert anonymiser.pseudonym("alice@a.example") != anonymiser.pseudonym("bob@a.example")
+
+    def test_random_salt_generated(self):
+        anonymiser = Anonymiser()
+        assert len(anonymiser.salt) >= 16
+
+    def test_handle_without_domain(self):
+        token = Anonymiser(salt="s").pseudonym("justalocalname")
+        assert "@" not in token
+
+
+class TestRecordAnonymisation:
+    def test_toot_record(self):
+        anonymiser = Anonymiser(salt="s")
+        record = anonymiser.anonymise_toot(make_record())
+        assert record.account != "alice@a.example"
+        assert record.account.endswith("@a.example")
+        assert "alice" not in record.url
+        assert record.author_domain == "a.example"
+        assert record.toot_id == 1
+
+    def test_toots_batch(self):
+        anonymiser = Anonymiser(salt="s")
+        records = anonymiser.anonymise_toots([make_record(), make_record()])
+        assert records[0].account == records[1].account
+
+    def test_edges(self):
+        anonymiser = Anonymiser(salt="s")
+        edge = anonymiser.anonymise_edge(
+            FollowEdgeRecord(follower="alice@a.example", followed="bob@b.example")
+        )
+        assert edge.follower.endswith("@a.example")
+        assert edge.followed.endswith("@b.example")
+        assert "alice" not in edge.follower
+        batch = anonymiser.anonymise_edges(
+            [FollowEdgeRecord(follower="alice@a.example", followed="bob@b.example")]
+        )
+        assert batch[0] == edge
+
+    def test_consistency_between_toots_and_edges(self):
+        anonymiser = Anonymiser(salt="s")
+        toot = anonymiser.anonymise_toot(make_record())
+        edge = anonymiser.anonymise_edge(
+            FollowEdgeRecord(follower="alice@a.example", followed="bob@b.example")
+        )
+        assert toot.account == edge.follower

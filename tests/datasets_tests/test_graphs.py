@@ -1,0 +1,135 @@
+"""Tests for the follower / federation graph builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.crawler.graph_crawler import FollowEdgeRecord
+from repro.datasets.graphs import (
+    GraphDataset,
+    build_federation_graph,
+    build_follower_graph,
+    connected_component_count,
+    largest_connected_component_fraction,
+    top_nodes_by,
+)
+
+EDGES = [
+    ("a1@alpha.example", "a2@alpha.example"),
+    ("a1@alpha.example", "b1@beta.example"),
+    ("a2@alpha.example", "b1@beta.example"),
+    ("b1@beta.example", "c1@gamma.example"),
+    ("c1@gamma.example", "a1@alpha.example"),
+    ("d1@delta.example", "d2@delta.example"),
+]
+
+
+class TestFollowerGraph:
+    def test_nodes_edges_and_domains(self):
+        graph = build_follower_graph(EDGES)
+        assert graph.number_of_nodes() == 6
+        assert graph.number_of_edges() == 6
+        assert graph.nodes["a1@alpha.example"]["domain"] == "alpha.example"
+
+    def test_self_loops_dropped(self):
+        graph = build_follower_graph([("a@x.example", "a@x.example")])
+        assert graph.number_of_edges() == 0
+
+    def test_accepts_edge_records(self):
+        graph = build_follower_graph(
+            [FollowEdgeRecord(follower="a@x.example", followed="b@y.example")]
+        )
+        assert graph.has_edge("a@x.example", "b@y.example")
+
+    def test_handle_without_domain_rejected(self):
+        with pytest.raises(DatasetError):
+            build_follower_graph([("nodomain", "b@y.example")])
+
+
+class TestFederationGraph:
+    def test_induced_edges_and_weights(self):
+        follower = build_follower_graph(EDGES)
+        federation = build_federation_graph(follower)
+        assert set(federation.nodes()) == {
+            "alpha.example",
+            "beta.example",
+            "gamma.example",
+            "delta.example",
+        }
+        assert federation.has_edge("alpha.example", "beta.example")
+        assert federation["alpha.example"]["beta.example"]["weight"] == 2
+        # intra-instance follows do not create federation edges
+        assert not federation.has_edge("alpha.example", "alpha.example")
+        assert not federation.has_edge("delta.example", "delta.example")
+
+    def test_node_user_counts(self):
+        federation = build_federation_graph(build_follower_graph(EDGES))
+        assert federation.nodes["alpha.example"]["users"] == 2
+        assert federation.nodes["delta.example"]["users"] == 2
+
+
+class TestGraphDataset:
+    def test_from_edges(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        assert dataset.user_count() == 6
+        assert dataset.follow_edge_count() == 6
+        assert dataset.instance_count() == 4
+        assert dataset.federation_edge_count() == 3
+        assert sorted(dataset.users_on_instance("delta.example")) == [
+            "d1@delta.example",
+            "d2@delta.example",
+        ]
+        assert dataset.users_per_instance()["alpha.example"] == 2
+
+    def test_degree_views(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        assert len(dataset.out_degrees()) == dataset.user_count()
+        assert sum(dataset.out_degrees()) == dataset.follow_edge_count()
+        assert sum(dataset.in_degrees()) == dataset.follow_edge_count()
+        assert len(dataset.federation_out_degrees()) == dataset.instance_count()
+
+    def test_instance_degree_table(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        table = dataset.instance_degree_table()
+        assert table["alpha.example"]["users"] == 2
+        assert table["alpha.example"]["instance_out_degree"] == 1
+        assert table["alpha.example"]["instance_in_degree"] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            GraphDataset.from_edges([])
+
+    def test_from_crawl_pipeline(self, datasets):
+        graphs = datasets.graphs
+        assert graphs.user_count() > 0
+        assert graphs.instance_count() > 1
+        assert graphs.follow_edge_count() > graphs.user_count()
+
+
+class TestGraphHelpers:
+    def test_lcc_fraction(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        fraction = largest_connected_component_fraction(dataset.follower_graph)
+        assert fraction == pytest.approx(4 / 6)
+
+    def test_component_count(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        assert connected_component_count(dataset.follower_graph) == 2
+        assert connected_component_count(dataset.follower_graph, strongly=True) >= 2
+
+    def test_empty_graph_helpers(self):
+        import networkx as nx
+
+        empty = nx.DiGraph()
+        assert largest_connected_component_fraction(empty) == 0.0
+        assert connected_component_count(empty) == 0
+
+    def test_top_nodes_by_degree_and_attribute(self):
+        dataset = GraphDataset.from_edges(EDGES)
+        by_degree = top_nodes_by(dataset.follower_graph, "degree", limit=2)
+        assert len(by_degree) == 2
+        by_users = top_nodes_by(dataset.federation_graph, "users", limit=1)
+        assert by_users[0] in {"alpha.example", "delta.example"}
+        by_out = top_nodes_by(dataset.federation_graph, "out_degree", limit=1)
+        assert by_out[0] in {"alpha.example", "beta.example", "gamma.example"}

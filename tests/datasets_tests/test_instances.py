@@ -1,0 +1,185 @@
+"""Tests for the instances dataset (snapshots + metadata joins)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.crawler.monitor import InstanceSnapshot, MonitoringLog
+from repro.datasets.instances import InstanceMetadata, InstancesDataset
+from repro.simtime import MINUTES_PER_DAY
+
+
+def make_log() -> MonitoringLog:
+    """Two instances, four six-hourly probes per day over two days."""
+    log = MonitoringLog(interval_minutes=360)
+    for tick in range(8):
+        minute = tick * 360
+        # alpha is down for the whole of day 0 afternoon (ticks 2 and 3)
+        alpha_online = tick not in (2, 3)
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain="alpha.example",
+                minute=minute,
+                online=alpha_online,
+                user_count=100 + tick,
+                toot_count=1000 + 10 * tick,
+                registrations_open=True,
+                logins_week=40,
+            )
+        )
+        # beta only comes into existence at tick 4 (day 1)
+        exists = tick >= 4
+        log.snapshots.append(
+            InstanceSnapshot(
+                domain="beta.example",
+                minute=minute,
+                online=exists,
+                exists=exists,
+                user_count=10 if exists else 0,
+                toot_count=50 if exists else 0,
+                registrations_open=False,
+                logins_week=9 if exists else 0,
+            )
+        )
+    return log
+
+
+def make_dataset() -> InstancesDataset:
+    metadata = {
+        "alpha.example": InstanceMetadata(
+            domain="alpha.example",
+            registration_open=True,
+            country="JP",
+            asn=9370,
+            as_name="SAKURA Internet Inc.",
+            ip_address="10.0.0.1",
+            categories=("tech",),
+            certificate_authority="Let's Encrypt",
+        ),
+        "beta.example": InstanceMetadata(
+            domain="beta.example",
+            registration_open=False,
+            country="US",
+            asn=16509,
+            as_name="Amazon.com, Inc.",
+            ip_address="10.0.1.1",
+        ),
+    }
+    return InstancesDataset(log=make_log(), metadata=metadata)
+
+
+class TestConstruction:
+    def test_empty_log_rejected(self):
+        with pytest.raises(DatasetError):
+            InstancesDataset(MonitoringLog(interval_minutes=5))
+
+    def test_metadata_defaults_for_unknown_domains(self):
+        dataset = InstancesDataset(log=make_log())
+        assert dataset.metadata_for("alpha.example").domain == "alpha.example"
+
+    def test_unknown_domain_accessors(self):
+        dataset = make_dataset()
+        with pytest.raises(DatasetError):
+            dataset.snapshots_for("ghost.example")
+        with pytest.raises(DatasetError):
+            dataset.metadata_for("ghost.example")
+
+    def test_build_from_network(self, tiny_network, datasets):
+        dataset = datasets.instances
+        assert len(dataset) == len(tiny_network)
+        some_domain = dataset.domains()[0]
+        metadata = dataset.metadata_for(some_domain)
+        assert metadata.country
+        assert metadata.asn > 0
+        assert metadata.certificate_authority
+
+
+class TestCounts:
+    def test_latest_counts_from_last_online_snapshot(self):
+        dataset = make_dataset()
+        assert dataset.users_per_instance()["alpha.example"] == 107
+        assert dataset.toots_per_instance()["alpha.example"] == 1070
+        assert dataset.total_users() == 117
+        assert dataset.total_toots() == 1120
+
+    def test_open_closed_partition(self):
+        dataset = make_dataset()
+        assert dataset.open_domains() == ["alpha.example"]
+        assert dataset.closed_domains() == ["beta.example"]
+
+    def test_activity_level(self):
+        dataset = make_dataset()
+        assert dataset.activity_level("alpha.example") == pytest.approx(40 / 100, rel=0.1)
+        assert dataset.activity_level("beta.example") == pytest.approx(0.9)
+
+
+class TestAvailability:
+    def test_downtime_fraction(self):
+        dataset = make_dataset()
+        assert dataset.downtime_fraction("alpha.example") == pytest.approx(2 / 8)
+        # beta's pre-existence probes are excluded entirely
+        assert dataset.downtime_fraction("beta.example") == 0.0
+
+    def test_daily_downtime(self):
+        dataset = make_dataset()
+        daily = dataset.daily_downtime("alpha.example")
+        assert daily[0] == pytest.approx(0.5)
+        assert daily[1] == 0.0
+
+    def test_outage_intervals(self):
+        dataset = make_dataset()
+        intervals = dataset.outage_intervals("alpha.example")
+        assert len(intervals) == 1
+        assert intervals[0].start_minute == 720
+        assert intervals[0].end_minute == 4 * 360
+        assert intervals[0].duration_minutes == 720
+        assert intervals[0].duration_days == pytest.approx(0.5)
+
+    def test_trailing_outage_dropped_by_default(self):
+        log = MonitoringLog(interval_minutes=60)
+        log.snapshots.append(InstanceSnapshot("x.example", 0, online=True))
+        log.snapshots.append(InstanceSnapshot("x.example", 60, online=False))
+        dataset = InstancesDataset(log)
+        assert dataset.outage_intervals("x.example") == []
+        trailing = dataset.outage_intervals("x.example", drop_trailing=False)
+        assert len(trailing) == 1
+
+    def test_existing_snapshots_skips_pre_creation(self):
+        dataset = make_dataset()
+        snapshots = dataset.existing_snapshots("beta.example")
+        assert len(snapshots) == 4
+        assert all(s.exists for s in snapshots)
+
+
+class TestGrowthAndHosting:
+    def test_growth_series_monotone_instances(self):
+        dataset = make_dataset()
+        series = dataset.growth_series()
+        assert [row["instances"] for row in series][:2] == [1, 1]
+        assert series[-1]["instances"] == 2
+        assert series[-1]["users"] == 117
+
+    def test_growth_series_carries_last_known_counts_through_outages(self):
+        dataset = make_dataset()
+        series = dataset.growth_series()
+        # during alpha's outage the last known counts are carried forward
+        assert series[2]["users"] >= 101
+
+    def test_by_country_and_asn(self):
+        dataset = make_dataset()
+        assert dataset.by_country() == {
+            "JP": ["alpha.example"],
+            "US": ["beta.example"],
+        }
+        assert set(dataset.by_asn()) == {9370, 16509}
+        assert dataset.as_name(9370) == "SAKURA Internet Inc."
+        assert dataset.as_name(424242) == "AS424242"
+
+    def test_daily_boundaries_use_probe_day(self):
+        log = MonitoringLog(interval_minutes=MINUTES_PER_DAY)
+        log.snapshots.append(InstanceSnapshot("x.example", 0, online=False))
+        log.snapshots.append(InstanceSnapshot("x.example", MINUTES_PER_DAY, online=True))
+        dataset = InstancesDataset(log)
+        daily = dataset.daily_downtime("x.example")
+        assert daily == {0: 1.0, 1: 0.0}

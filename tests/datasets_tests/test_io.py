@@ -1,0 +1,109 @@
+"""Tests for dataset persistence (JSONL / CSV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.crawler.graph_crawler import FollowEdgeRecord
+from repro.crawler.monitor import InstanceSnapshot
+from repro.crawler.toot_crawler import TootRecord
+from repro.datasets.io import (
+    load_edges,
+    load_snapshots,
+    load_toot_records,
+    read_jsonl,
+    save_edges,
+    save_snapshots,
+    save_toot_records,
+    write_csv,
+    write_jsonl,
+)
+
+
+class TestJSONL:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        assert write_jsonl(path, rows) == 2
+        assert list(read_jsonl(path)) == rows
+
+    def test_read_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            list(read_jsonl(tmp_path / "missing.jsonl"))
+
+    def test_read_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n', encoding="utf-8")
+        with pytest.raises(DatasetError):
+            list(read_jsonl(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "rows.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n', encoding="utf-8")
+        assert len(list(read_jsonl(path))) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "rows.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        assert path.exists()
+
+
+class TestCSV:
+    def test_roundtrip_header(self, tmp_path):
+        path = tmp_path / "table.csv"
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        assert write_csv(path, rows) == 2
+        content = path.read_text(encoding="utf-8").splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv(path, []) == 0
+        assert path.read_text(encoding="utf-8") == ""
+
+
+class TestDataclassRoundtrips:
+    def test_snapshots(self, tmp_path):
+        snapshots = [
+            InstanceSnapshot(domain="a.example", minute=5, online=True, user_count=3),
+            InstanceSnapshot(domain="b.example", minute=5, online=False, exists=False),
+        ]
+        path = tmp_path / "snapshots.jsonl"
+        save_snapshots(path, snapshots)
+        assert load_snapshots(path) == snapshots
+
+    def test_toot_records(self, tmp_path):
+        records = [
+            TootRecord(
+                toot_id=1,
+                url="https://a.example/@u/1",
+                account="u@a.example",
+                author_domain="a.example",
+                collected_from="b.example",
+                created_at=10,
+                hashtags=("cats", "dogs"),
+            )
+        ]
+        path = tmp_path / "toots.jsonl"
+        save_toot_records(path, records)
+        loaded = load_toot_records(path)
+        assert loaded == records
+        assert loaded[0].hashtags == ("cats", "dogs")
+
+    def test_edges(self, tmp_path):
+        edges = [FollowEdgeRecord(follower="a@x.example", followed="b@y.example")]
+        path = tmp_path / "edges.jsonl"
+        save_edges(path, edges)
+        assert load_edges(path) == edges
+
+    def test_unknown_fields_ignored_on_load(self, tmp_path):
+        path = tmp_path / "edges.jsonl"
+        write_jsonl(
+            path,
+            [{"follower": "a@x.example", "followed": "b@y.example", "extra": 1}],
+        )
+        assert load_edges(path) == [
+            FollowEdgeRecord(follower="a@x.example", followed="b@y.example")
+        ]

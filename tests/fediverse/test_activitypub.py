@@ -1,0 +1,86 @@
+"""Tests for the minimal ActivityPub layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fediverse.activitypub import (
+    ACTIVITYSTREAMS_CONTEXT,
+    Activity,
+    ActivityVerb,
+    Actor,
+    Note,
+    create_activity_for_toot,
+    follow_activity,
+)
+from repro.fediverse.entities import Toot, UserRef
+
+
+def make_toot(boost_of: int | None = None) -> Toot:
+    return Toot(
+        toot_id=7,
+        author=UserRef("alice", "alpha.example"),
+        created_at=120,
+        hashtags=("cats",),
+        boost_of=boost_of,
+    )
+
+
+class TestActor:
+    def test_uris(self):
+        actor = Actor(UserRef("alice", "alpha.example"))
+        assert actor.actor_id == "https://alpha.example/users/alice"
+        assert actor.inbox.endswith("/inbox")
+
+    def test_to_dict(self):
+        payload = Actor(UserRef("alice", "alpha.example")).to_dict()
+        assert payload["@context"] == ACTIVITYSTREAMS_CONTEXT
+        assert payload["type"] == "Person"
+        assert payload["preferredUsername"] == "alice"
+
+
+class TestNote:
+    def test_to_dict_includes_hashtags_and_visibility(self):
+        payload = Note(make_toot()).to_dict()
+        assert payload["type"] == "Note"
+        assert payload["tag"] == [{"type": "Hashtag", "name": "#cats"}]
+        assert payload["visibility"] == "public"
+        assert payload["attributedTo"].endswith("/users/alice")
+
+
+class TestActivities:
+    def test_create_activity_for_plain_toot(self):
+        activity = create_activity_for_toot(make_toot(), target_domain="beta.example")
+        assert activity.verb is ActivityVerb.CREATE
+        assert activity.target_domain == "beta.example"
+        assert activity.to_dict()["type"] == "Create"
+
+    def test_boost_becomes_announce(self):
+        activity = create_activity_for_toot(make_toot(boost_of=3), target_domain="beta.example")
+        assert activity.verb is ActivityVerb.ANNOUNCE
+
+    def test_follow_activity(self):
+        activity = follow_activity(
+            UserRef("alice", "alpha.example"), UserRef("bob", "beta.example"), created_at=10
+        )
+        assert activity.verb is ActivityVerb.FOLLOW
+        assert activity.target_domain == "beta.example"
+        payload = activity.to_dict()
+        assert payload["object"]["id"].endswith("/users/bob")
+        assert payload["id"]
+
+    def test_self_follow_rejected(self):
+        ref = UserRef("alice", "alpha.example")
+        with pytest.raises(SimulationError):
+            follow_activity(ref, ref, created_at=0)
+
+    def test_activity_id_default(self):
+        activity = Activity(
+            verb=ActivityVerb.CREATE,
+            actor=Actor(UserRef("alice", "alpha.example")),
+            object_payload={},
+            target_domain="beta.example",
+            published=42,
+        )
+        assert "#activities/42" in activity.to_dict()["id"]

@@ -1,0 +1,107 @@
+"""Tests for certificate issuance, expiry windows and the CA footprint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.fediverse.certificates import (
+    CERTIFICATE_AUTHORITIES,
+    Certificate,
+    CertificateRegistry,
+)
+from repro.simtime import MINUTES_PER_DAY
+
+
+class TestCertificate:
+    def test_expiry_computation(self):
+        certificate = Certificate(
+            domain="a.example", authority="Let's Encrypt", issued_at=0, validity_days=90
+        )
+        assert certificate.expires_at == 90 * MINUTES_PER_DAY
+        assert certificate.is_valid(0)
+        assert certificate.is_valid(90 * MINUTES_PER_DAY - 1)
+        assert not certificate.is_valid(90 * MINUTES_PER_DAY)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Certificate(domain="a", authority="Let's Encrypt", issued_at=0, validity_days=0)
+        with pytest.raises(ConfigurationError):
+            Certificate(domain="a", authority="Let's Encrypt", issued_at=-1, validity_days=10)
+
+
+class TestCertificateRegistry:
+    def test_issue_uses_default_validity(self):
+        registry = CertificateRegistry()
+        certificate = registry.issue("a.example", "Let's Encrypt", issued_at=0)
+        assert certificate.validity_days == CERTIFICATE_AUTHORITIES["Let's Encrypt"]
+
+    def test_unknown_authority_rejected(self):
+        registry = CertificateRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.issue("a.example", "Totally Real CA", issued_at=0)
+
+    def test_history_and_authority(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "COMODO", issued_at=0)
+        registry.issue("a.example", "Let's Encrypt", issued_at=100)
+        assert len(registry.history("a.example")) == 2
+        assert registry.authority_of("a.example") == "Let's Encrypt"
+        assert "a.example" in registry
+        assert len(registry) == 1
+
+    def test_history_unknown_domain(self):
+        registry = CertificateRegistry()
+        with pytest.raises(DatasetError):
+            registry.history("ghost.example")
+
+    def test_lapse_detection(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=10)
+        # renewal arrives two days late
+        registry.issue("a.example", "Let's Encrypt", issued_at=12 * MINUTES_PER_DAY, validity_days=10)
+        assert not registry.is_lapsed("a.example", 5 * MINUTES_PER_DAY)
+        assert registry.is_lapsed("a.example", 11 * MINUTES_PER_DAY)
+        assert not registry.is_lapsed("a.example", 13 * MINUTES_PER_DAY)
+
+    def test_unknown_domain_is_not_lapsed(self):
+        registry = CertificateRegistry()
+        assert not registry.is_lapsed("ghost.example", 100)
+
+    def test_lapse_windows(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=10)
+        registry.issue("a.example", "Let's Encrypt", issued_at=12 * MINUTES_PER_DAY, validity_days=10)
+        windows = registry.lapse_windows("a.example", window_end=30 * MINUTES_PER_DAY)
+        assert windows[0] == (10 * MINUTES_PER_DAY, 12 * MINUTES_PER_DAY)
+        # after the second certificate expires (day 22) the domain lapses again
+        assert windows[-1][0] == 22 * MINUTES_PER_DAY
+
+    def test_no_lapse_with_timely_renewal(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=10)
+        registry.issue("a.example", "Let's Encrypt", issued_at=10 * MINUTES_PER_DAY, validity_days=30)
+        windows = registry.lapse_windows("a.example", window_end=30 * MINUTES_PER_DAY)
+        assert windows == []
+
+    def test_expired_domains_on_day(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=5)
+        registry.issue("b.example", "Let's Encrypt", issued_at=0, validity_days=90)
+        assert registry.expired_domains_on_day(6) == ["a.example"]
+        assert registry.expired_domains_on_day(2) == []
+
+    def test_footprint(self):
+        registry = CertificateRegistry()
+        registry.bulk_issue(["a.example", "b.example", "c.example"], "Let's Encrypt", 0)
+        registry.issue("d.example", "COMODO", 0)
+        footprint = registry.authority_footprint()
+        assert footprint["Let's Encrypt"] == 3
+        assert footprint["COMODO"] == 1
+
+    def test_current_certificate_picks_longest_valid(self):
+        registry = CertificateRegistry()
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=10)
+        registry.issue("a.example", "Let's Encrypt", issued_at=0, validity_days=90)
+        current = registry.current_certificate("a.example", 5 * MINUTES_PER_DAY)
+        assert current is not None and current.validity_days == 90

@@ -1,0 +1,143 @@
+"""Tests for the core fediverse entities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fediverse.entities import (
+    ActivityPolicy,
+    ActivityType,
+    Category,
+    Follow,
+    InstanceDescriptor,
+    RegistrationPolicy,
+    Software,
+    Toot,
+    User,
+    UserRef,
+    Visibility,
+)
+
+
+class TestUserRef:
+    def test_handle_roundtrip(self):
+        ref = UserRef(username="alice", domain="alpha.example")
+        assert ref.handle == "alice@alpha.example"
+        assert UserRef.parse(ref.handle) == ref
+
+    def test_parse_rejects_bad_handles(self):
+        for bad in ("alice", "@domain", "alice@", ""):
+            with pytest.raises(ConfigurationError):
+                UserRef.parse(bad)
+
+    def test_invalid_username_and_domain(self):
+        with pytest.raises(ConfigurationError):
+            UserRef(username="a@b", domain="x.example")
+        with pytest.raises(ConfigurationError):
+            UserRef(username="a", domain="x/..example")
+
+    def test_ordering_is_deterministic(self):
+        refs = [UserRef("b", "z.example"), UserRef("a", "z.example"), UserRef("a", "a.example")]
+        ordered = sorted(refs)
+        assert ordered[0] == UserRef("a", "a.example")
+
+    @given(
+        st.text(alphabet="abcdefghij0123456789_", min_size=1, max_size=10),
+        st.sampled_from(["one.example", "two.example"]),
+    )
+    def test_parse_handle_property(self, username, domain):
+        ref = UserRef(username=username, domain=domain)
+        assert UserRef.parse(ref.handle) == ref
+
+
+class TestUserAndToot:
+    def test_user_ref_matches_fields(self):
+        user = User(username="alice", domain="alpha.example", created_at=5)
+        assert user.ref == UserRef("alice", "alpha.example")
+        assert user.handle == "alice@alpha.example"
+
+    def test_toot_url_and_flags(self):
+        toot = Toot(
+            toot_id=42,
+            author=UserRef("alice", "alpha.example"),
+            created_at=10,
+            visibility=Visibility.PUBLIC,
+        )
+        assert toot.is_public
+        assert not toot.is_boost
+        assert "alpha.example" in toot.url and "42" in toot.url
+
+    def test_boost_flag(self):
+        boost = Toot(
+            toot_id=43,
+            author=UserRef("bob", "beta.example"),
+            created_at=11,
+            boost_of=42,
+        )
+        assert boost.is_boost
+
+    def test_private_toot_not_public(self):
+        toot = Toot(
+            toot_id=44,
+            author=UserRef("bob", "beta.example"),
+            created_at=11,
+            visibility=Visibility.PRIVATE,
+        )
+        assert not toot.is_public
+
+
+class TestFollow:
+    def test_remote_detection(self):
+        local = Follow(UserRef("a", "x.example"), UserRef("b", "x.example"))
+        remote = Follow(UserRef("a", "x.example"), UserRef("b", "y.example"))
+        assert not local.is_remote
+        assert remote.is_remote
+
+
+class TestActivityPolicy:
+    def test_permissive_allows_everything(self):
+        policy = ActivityPolicy.permissive()
+        assert all(policy.allows(a) for a in ActivityType)
+        assert not any(policy.prohibits(a) for a in ActivityType)
+
+    def test_explicit_lists(self):
+        policy = ActivityPolicy.from_lists(
+            allowed=[ActivityType.ADVERTISING],
+            prohibited=[ActivityType.SPAM],
+        )
+        assert policy.allows(ActivityType.ADVERTISING)
+        assert policy.prohibits(ActivityType.SPAM)
+        assert not policy.allows(ActivityType.SPAM)
+        assert not policy.allows(ActivityType.NUDITY_WITH_NSFW)
+
+    def test_conflicting_lists_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivityPolicy.from_lists(
+                allowed=[ActivityType.SPAM], prohibited=[ActivityType.SPAM]
+            )
+
+
+class TestInstanceDescriptor:
+    def test_defaults(self):
+        descriptor = InstanceDescriptor(domain="alpha.example")
+        assert descriptor.software is Software.MASTODON
+        assert descriptor.registration is RegistrationPolicy.OPEN
+        assert descriptor.is_open
+        assert not descriptor.is_tagged
+
+    def test_invalid_domain_rejected(self):
+        for bad in ("", "bad domain", "slash/domain"):
+            with pytest.raises(ConfigurationError):
+                InstanceDescriptor(domain=bad)
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InstanceDescriptor(
+                domain="alpha.example", categories=(Category.TECH, Category.TECH)
+            )
+
+    def test_tagged(self):
+        descriptor = InstanceDescriptor(domain="a.example", categories=(Category.ADULT,))
+        assert descriptor.is_tagged

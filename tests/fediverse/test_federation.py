@@ -1,0 +1,127 @@
+"""Tests for the federation router: remote follows and toot delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, UnknownInstanceError
+from repro.fediverse.entities import UserRef
+from tests.conftest import build_mini_network, ref
+
+
+class TestFollows:
+    def test_local_follow_does_not_create_subscription(self):
+        network = build_mini_network()
+        edge = network.follow(ref("alice@alpha.example"), ref("akira@alpha.example"))
+        assert not edge.is_remote
+        alpha = network.get_instance("alpha.example")
+        assert alpha.subscriptions == set()
+        assert network.federation.stats.local_follows == 1
+
+    def test_remote_follow_creates_subscription_both_sides(self):
+        network = build_mini_network()
+        edge = network.follow(ref("alice@alpha.example"), ref("bob@beta.example"))
+        assert edge.is_remote
+        alpha = network.get_instance("alpha.example")
+        beta = network.get_instance("beta.example")
+        assert "beta.example" in alpha.subscriptions
+        assert "alpha.example" in beta.subscribers
+        assert network.federation.stats.remote_follows == 1
+        assert ("alpha.example", "beta.example") in network.subscription_edges()
+
+    def test_self_follow_rejected(self):
+        network = build_mini_network()
+        with pytest.raises(SimulationError):
+            network.follow(ref("alice@alpha.example"), ref("alice@alpha.example"))
+
+    def test_unknown_follower_account_rejected(self):
+        network = build_mini_network()
+        with pytest.raises(SimulationError):
+            network.follow(ref("ghost@alpha.example"), ref("bob@beta.example"))
+
+    def test_unknown_instance_rejected(self):
+        network = build_mini_network()
+        with pytest.raises(UnknownInstanceError):
+            network.follow(ref("alice@alpha.example"), ref("bob@missing.example"))
+
+
+class TestDelivery:
+    def test_toot_delivered_to_follower_instances(self):
+        network = build_mini_network()
+        network.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+        network.follow(ref("chloe@gamma.example"), ref("alice@alpha.example"))
+        toot = network.post_toot(ref("alice@alpha.example"), created_at=10)
+        beta = network.get_instance("beta.example")
+        gamma = network.get_instance("gamma.example")
+        assert toot.toot_id in beta.federated_timeline
+        assert toot.toot_id in gamma.federated_timeline
+        assert beta.remote_toot_count() == 1
+
+    def test_toot_not_delivered_without_followers(self):
+        network = build_mini_network()
+        network.post_toot(ref("alice@alpha.example"), created_at=10)
+        beta = network.get_instance("beta.example")
+        assert beta.remote_toot_count() == 0
+
+    def test_delivery_targets_only_follower_domains(self):
+        network = build_mini_network()
+        network.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+        # a local follower must not cause a remote delivery
+        network.follow(ref("akira@alpha.example"), ref("alice@alpha.example"))
+        toot = network.post_toot(ref("alice@alpha.example"), created_at=10)
+        targets = network.federation.delivery_targets(toot)
+        assert targets == {"beta.example"}
+
+    def test_private_toots_are_not_delivered(self):
+        from repro.fediverse.entities import Visibility
+
+        network = build_mini_network()
+        network.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+        network.post_toot(
+            ref("alice@alpha.example"), created_at=10, visibility=Visibility.PRIVATE
+        )
+        beta = network.get_instance("beta.example")
+        assert beta.remote_toot_count() == 0
+
+    def test_delivery_skips_unreachable_instances(self):
+        network = build_mini_network()
+        network.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+        network.follow(ref("chloe@gamma.example"), ref("alice@alpha.example"))
+        alpha = network.get_instance("alpha.example")
+        toot = alpha.post_toot("alice", toot_id=999, created_at=5)
+        delivered = network.federation.deliver_toot(
+            toot, is_deliverable=lambda domain: domain != "beta.example"
+        )
+        assert delivered == 1
+        assert network.get_instance("beta.example").remote_toot_count() == 0
+        assert network.get_instance("gamma.example").remote_toot_count() == 1
+
+    def test_boost_is_delivered_to_booster_followers(self):
+        network = build_mini_network()
+        network.follow(ref("chloe@gamma.example"), ref("bob@beta.example"))
+        original = network.post_toot(ref("alice@alpha.example"), created_at=5)
+        boost = network.boost(ref("bob@beta.example"), original, created_at=10)
+        gamma = network.get_instance("gamma.example")
+        assert boost.toot_id in gamma.federated_timeline
+        assert boost.boost_of == original.toot_id
+
+    def test_delivery_stats_counted(self):
+        network = build_mini_network()
+        network.follow(ref("bob@beta.example"), ref("alice@alpha.example"))
+        network.post_toot(ref("alice@alpha.example"), created_at=10)
+        stats = network.federation.stats
+        assert stats.deliveries_attempted == 1
+        assert stats.deliveries_succeeded == 1
+
+
+class TestSubscriptionEdges:
+    def test_edges_reflect_remote_follows_only(self):
+        network = build_mini_network()
+        network.follow(ref("alice@alpha.example"), ref("akira@alpha.example"))
+        network.follow(ref("alice@alpha.example"), ref("bob@beta.example"))
+        network.follow(ref("chloe@gamma.example"), ref("bob@beta.example"))
+        edges = network.subscription_edges()
+        assert edges == {
+            ("alpha.example", "beta.example"),
+            ("gamma.example", "beta.example"),
+        }

@@ -1,0 +1,95 @@
+"""Tests for the geo/AS database and IP allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.fediverse.geo import (
+    AutonomousSystem,
+    GeoDatabase,
+    IPAllocator,
+    WELL_KNOWN_ASES,
+)
+
+
+class TestAutonomousSystem:
+    def test_invalid_asn(self):
+        with pytest.raises(ConfigurationError):
+            AutonomousSystem(asn=0, name="X", country="US")
+
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            AutonomousSystem(asn=1, name="", country="US")
+
+    def test_well_known_ases_have_unique_asns(self):
+        asns = [asys.asn for asys in WELL_KNOWN_ASES]
+        assert len(asns) == len(set(asns))
+
+    def test_paper_providers_present(self):
+        names = " ".join(asys.name for asys in WELL_KNOWN_ASES)
+        for provider in ("Amazon", "Cloudflare", "SAKURA", "OVH", "DigitalOcean"):
+            assert provider in names
+
+
+class TestGeoDatabase:
+    def test_register_and_lookup(self):
+        geo = GeoDatabase()
+        record = geo.register("10.0.0.1", "JP", 9370)
+        assert record.as_name.startswith("SAKURA")
+        assert geo.country_of("10.0.0.1") == "JP"
+        assert geo.asn_of("10.0.0.1") == 9370
+        assert "10.0.0.1" in geo
+        assert len(geo) == 1
+
+    def test_lookup_unknown_ip(self):
+        geo = GeoDatabase()
+        with pytest.raises(DatasetError):
+            geo.lookup("192.0.2.1")
+
+    def test_register_unknown_as(self):
+        geo = GeoDatabase()
+        with pytest.raises(DatasetError):
+            geo.register("10.0.0.1", "JP", 424242)
+
+    def test_register_empty_ip(self):
+        geo = GeoDatabase()
+        with pytest.raises(ConfigurationError):
+            geo.register("", "JP", 9370)
+
+    def test_conflicting_as_metadata_rejected(self):
+        geo = GeoDatabase()
+        with pytest.raises(ConfigurationError):
+            geo.add_autonomous_system(AutonomousSystem(asn=9370, name="Other", country="US"))
+
+    def test_reregister_identical_as_is_fine(self):
+        geo = GeoDatabase()
+        sakura = geo.autonomous_system(9370)
+        geo.add_autonomous_system(sakura)
+
+    def test_autonomous_systems_iterates_all(self):
+        geo = GeoDatabase()
+        assert len(list(geo.autonomous_systems())) == len(WELL_KNOWN_ASES)
+
+
+class TestIPAllocator:
+    def test_unique_addresses(self):
+        allocator = IPAllocator()
+        addresses = {allocator.allocate(9370) for _ in range(300)}
+        assert len(addresses) == 300
+
+    def test_same_as_shares_prefix(self):
+        allocator = IPAllocator()
+        first = allocator.allocate(9370)
+        second = allocator.allocate(9370)
+        other = allocator.allocate(16509)
+        assert first.rsplit(".", 2)[0] == second.rsplit(".", 2)[0]
+        assert first.rsplit(".", 2)[0] != other.rsplit(".", 2)[0]
+
+    def test_addresses_are_valid_ipv4(self):
+        allocator = IPAllocator()
+        for asn in (9370, 16509, 13335):
+            address = allocator.allocate(asn)
+            octets = [int(part) for part in address.split(".")]
+            assert len(octets) == 4
+            assert all(0 <= octet <= 255 for octet in octets)

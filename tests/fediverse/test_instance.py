@@ -1,0 +1,184 @@
+"""Tests for the per-instance server behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RegistrationClosedError, SimulationError, UnknownUserError
+from repro.fediverse.entities import (
+    InstanceDescriptor,
+    RegistrationPolicy,
+    Toot,
+    UserRef,
+    Visibility,
+)
+from repro.fediverse.instance import FOLLOWERS_PAGE_SIZE, InstanceServer
+from repro.simtime import MINUTES_PER_DAY
+
+
+def make_instance(registration: RegistrationPolicy = RegistrationPolicy.OPEN) -> InstanceServer:
+    return InstanceServer(
+        InstanceDescriptor(domain="alpha.example", registration=registration)
+    )
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        instance = make_instance()
+        user = instance.register_user("alice", created_at=5)
+        assert instance.has_user("alice")
+        assert instance.get_user("alice") is user
+        assert user.ref.domain == "alpha.example"
+
+    def test_duplicate_username_rejected(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        with pytest.raises(SimulationError):
+            instance.register_user("alice")
+
+    def test_closed_instance_requires_invite(self):
+        instance = make_instance(RegistrationPolicy.CLOSED)
+        with pytest.raises(RegistrationClosedError):
+            instance.register_user("alice")
+        instance.register_user("alice", invited=True)
+        assert instance.has_user("alice")
+
+    def test_unknown_user_lookup(self):
+        instance = make_instance()
+        with pytest.raises(UnknownUserError):
+            instance.get_user("ghost")
+
+
+class TestTooting:
+    def test_post_toot_lands_on_all_timelines(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        toot = instance.post_toot("alice", toot_id=1, created_at=10)
+        assert toot.toot_id in instance.toots
+        assert len(instance.local_timeline) == 1
+        assert len(instance.federated_timeline) == 1
+        assert len(instance.home_timelines["alice"]) == 1
+        assert instance.counters.toots_posted == 1
+
+    def test_boost_counter(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        instance.post_toot("alice", toot_id=1, created_at=10)
+        instance.post_toot("alice", toot_id=2, created_at=11, boost_of=1)
+        assert instance.counters.boosts_posted == 1
+        assert instance.counters.toots_posted == 1
+
+    def test_counts_at_time(self):
+        instance = make_instance()
+        instance.register_user("alice", created_at=0)
+        instance.register_user("bob", created_at=100)
+        instance.post_toot("alice", toot_id=1, created_at=50)
+        instance.post_toot("bob", toot_id=2, created_at=150)
+        assert instance.user_count_at(0) == 1
+        assert instance.user_count_at(100) == 2
+        assert instance.toot_count_at(50) == 1
+        assert instance.toot_count_at(200) == 2
+
+    def test_local_toot_count_public_only(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        instance.post_toot("alice", toot_id=1, created_at=1, visibility=Visibility.PRIVATE)
+        instance.post_toot("alice", toot_id=2, created_at=2)
+        assert instance.local_toot_count() == 2
+        assert instance.local_toot_count(public_only=True) == 1
+
+    def test_post_from_unknown_user(self):
+        instance = make_instance()
+        with pytest.raises(UnknownUserError):
+            instance.post_toot("ghost", toot_id=1, created_at=0)
+
+
+class TestRemoteToots:
+    def test_receive_remote_toot(self):
+        instance = make_instance()
+        remote = Toot(toot_id=9, author=UserRef("bob", "beta.example"), created_at=3)
+        assert instance.receive_remote_toot(remote)
+        assert not instance.receive_remote_toot(remote)  # duplicate
+        assert instance.remote_toot_count() == 1
+        assert instance.home_toot_count() == 0
+        assert instance.counters.remote_toots_received == 1
+
+    def test_local_toot_through_federation_rejected(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        local = Toot(toot_id=9, author=UserRef("alice", "alpha.example"), created_at=3)
+        with pytest.raises(SimulationError):
+            instance.receive_remote_toot(local)
+
+
+class TestFollows:
+    def test_follower_and_following_tracking(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        remote = UserRef("bob", "beta.example")
+        instance.add_follower("alice", remote)
+        instance.add_following("alice", remote)
+        assert remote in instance.followers_of("alice")
+        assert remote in instance.following_of("alice")
+        assert "beta.example" in instance.subscribers
+        assert "beta.example" in instance.subscriptions
+        assert instance.subscription_count() == 1
+
+    def test_follow_unknown_user_rejected(self):
+        instance = make_instance()
+        with pytest.raises(UnknownUserError):
+            instance.add_follower("ghost", UserRef("bob", "beta.example"))
+        with pytest.raises(UnknownUserError):
+            instance.followers_of("ghost")
+
+    def test_followers_page(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        for index in range(FOLLOWERS_PAGE_SIZE + 3):
+            instance.add_follower("alice", UserRef(f"user{index:03d}", "beta.example"))
+        first = instance.followers_page("alice", page=1)
+        second = instance.followers_page("alice", page=2)
+        assert len(first) == FOLLOWERS_PAGE_SIZE
+        assert len(second) == 3
+        assert set(first).isdisjoint(second)
+
+    def test_followers_page_rejects_bad_page(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        with pytest.raises(SimulationError):
+            instance.followers_page("alice", page=0)
+
+
+class TestActivityAndAPI:
+    def test_logins_and_activity_fraction(self):
+        instance = make_instance()
+        instance.register_user("alice")
+        instance.register_user("bob")
+        instance.record_login("alice", minute=10)
+        instance.record_login("alice", minute=20)
+        instance.record_login("bob", minute=8 * MINUTES_PER_DAY)
+        assert instance.weekly_active_fraction() == pytest.approx(0.5)
+
+    def test_login_unknown_user(self):
+        instance = make_instance()
+        with pytest.raises(UnknownUserError):
+            instance.record_login("ghost", 0)
+
+    def test_activity_fraction_empty(self):
+        instance = make_instance()
+        assert instance.weekly_active_fraction() == 0.0
+        instance.register_user("alice")
+        assert instance.weekly_active_fraction() == 0.0
+
+    def test_instance_api_document(self):
+        instance = make_instance()
+        instance.register_user("alice", created_at=0)
+        instance.post_toot("alice", toot_id=1, created_at=5)
+        instance.record_login("alice", minute=10)
+        document = instance.instance_api_document(minute=100)
+        assert document["uri"] == "alpha.example"
+        assert document["registrations"] is True
+        assert document["stats"]["user_count"] == 1
+        assert document["stats"]["status_count"] == 1
+        assert document["logins_week"] == 1
+        assert document["software"] == "mastodon"

@@ -1,0 +1,109 @@
+"""Tests for the FediverseNetwork container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, UnknownInstanceError
+from repro.fediverse import FediverseNetwork, InstanceDescriptor
+from repro.fediverse.entities import Visibility
+from repro.fediverse.uptime import Outage
+from repro.simtime import MINUTES_PER_DAY, SimClock, TimeWindow
+from tests.conftest import build_mini_network, ref
+
+
+class TestInstanceRegistry:
+    def test_add_and_get(self):
+        network = build_mini_network()
+        assert len(network) == 3
+        assert "alpha.example" in network
+        assert network.get_instance("alpha.example").domain == "alpha.example"
+        assert network.domains() == ["alpha.example", "beta.example", "gamma.example"]
+
+    def test_duplicate_instance_rejected(self):
+        network = build_mini_network()
+        with pytest.raises(SimulationError):
+            network.add_instance(InstanceDescriptor(domain="alpha.example"))
+
+    def test_unknown_instance(self):
+        network = build_mini_network()
+        with pytest.raises(UnknownInstanceError):
+            network.get_instance("missing.example")
+        with pytest.raises(UnknownInstanceError):
+            network.is_online("missing.example")
+
+    def test_geo_registration_on_add(self):
+        network = build_mini_network()
+        assert network.geo.country_of("10.0.0.1") == "JP"
+        assert network.geo.asn_of("10.0.1.1") == 16509
+
+
+class TestUserActions:
+    def test_toot_ids_are_globally_unique_and_increasing(self):
+        network = build_mini_network()
+        first = network.post_toot(ref("alice@alpha.example"), created_at=1)
+        second = network.post_toot(ref("bob@beta.example"), created_at=2)
+        assert second.toot_id > first.toot_id
+
+    def test_post_toot_defaults_to_clock_time(self):
+        network = build_mini_network()
+        network.clock.set(500)
+        toot = network.post_toot(ref("alice@alpha.example"))
+        assert toot.created_at == 500
+
+    def test_total_counts(self):
+        network = build_mini_network()
+        network.post_toot(ref("alice@alpha.example"), created_at=1)
+        network.post_toot(ref("bob@beta.example"), created_at=2, visibility=Visibility.PRIVATE)
+        assert network.total_users() == 4
+        assert network.total_toots() == 2
+        assert network.total_toots(public_only=True) == 1
+        stats = network.stats()
+        assert stats["instances"] == 3
+        assert stats["users"] == 4
+        assert stats["toots"] == 2
+
+    def test_record_login(self):
+        network = build_mini_network()
+        network.record_login(ref("alice@alpha.example"), minute=30)
+        alpha = network.get_instance("alpha.example")
+        assert alpha.counters.logins == 1
+
+    def test_all_users_and_follow_edges(self):
+        network = build_mini_network()
+        network.follow(ref("alice@alpha.example"), ref("bob@beta.example"))
+        assert len(network.all_users()) == 4
+        assert len(network.follow_edges()) == 1
+
+
+class TestAvailability:
+    def test_outage_makes_instance_offline(self):
+        network = build_mini_network()
+        network.availability.add_outage(
+            Outage("alpha.example", TimeWindow(100, 200))
+        )
+        assert network.is_online("alpha.example", 50)
+        assert not network.is_online("alpha.example", 150)
+        assert "alpha.example" not in network.online_domains(150)
+        assert "beta.example" in network.online_domains(150)
+
+    def test_lapsed_certificate_makes_instance_offline(self):
+        network = build_mini_network()
+        network.certificates.issue("alpha.example", "Let's Encrypt", issued_at=0, validity_days=1)
+        assert network.is_online("alpha.example", 10)
+        assert not network.is_online("alpha.example", 2 * MINUTES_PER_DAY)
+
+    def test_online_defaults_to_clock_now(self):
+        network = build_mini_network()
+        network.availability.add_outage(Outage("alpha.example", TimeWindow(0, 10)))
+        network.clock.set(5)
+        assert not network.is_online("alpha.example")
+        network.clock.set(20)
+        assert network.is_online("alpha.example")
+
+
+class TestClockWiring:
+    def test_custom_clock_respected(self):
+        clock = SimClock(window_days=3)
+        network = FediverseNetwork(clock=clock)
+        assert network.availability.window_minutes == 3 * MINUTES_PER_DAY

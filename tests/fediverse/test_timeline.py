@@ -1,0 +1,107 @@
+"""Tests for timeline ordering and API-style paging."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.fediverse.entities import Toot, UserRef, Visibility
+from repro.fediverse.timeline import Timeline
+
+
+def make_toot(toot_id: int, visibility: Visibility = Visibility.PUBLIC) -> Toot:
+    return Toot(
+        toot_id=toot_id,
+        author=UserRef("alice", "alpha.example"),
+        created_at=toot_id,
+        visibility=visibility,
+    )
+
+
+class TestTimelineBasics:
+    def test_add_and_len(self):
+        timeline = Timeline()
+        assert timeline.add(make_toot(1))
+        assert timeline.add(make_toot(2))
+        assert len(timeline) == 2
+        assert 1 in timeline and 3 not in timeline
+
+    def test_duplicates_rejected(self):
+        timeline = Timeline()
+        assert timeline.add(make_toot(1))
+        assert not timeline.add(make_toot(1))
+        assert len(timeline) == 1
+
+    def test_order_maintained_regardless_of_insertion(self):
+        timeline = Timeline()
+        for toot_id in (5, 1, 3, 2, 4):
+            timeline.add(make_toot(toot_id))
+        assert [t.toot_id for t in timeline] == [1, 2, 3, 4, 5]
+        assert timeline.newest_id() == 5
+        assert timeline.oldest_id() == 1
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.newest_id() is None
+        assert timeline.oldest_id() is None
+        assert timeline.page() == []
+        assert timeline.count() == 0
+
+
+class TestPaging:
+    def test_page_returns_newest_first(self):
+        timeline = Timeline()
+        for toot_id in range(1, 11):
+            timeline.add(make_toot(toot_id))
+        page = timeline.page(limit=3)
+        assert [t.toot_id for t in page] == [10, 9, 8]
+
+    def test_max_id_pages_backwards(self):
+        timeline = Timeline()
+        for toot_id in range(1, 11):
+            timeline.add(make_toot(toot_id))
+        page = timeline.page(max_id=8, limit=3)
+        assert [t.toot_id for t in page] == [7, 6, 5]
+
+    def test_full_history_via_paging(self):
+        timeline = Timeline()
+        for toot_id in range(1, 101):
+            timeline.add(make_toot(toot_id))
+        collected = []
+        max_id = None
+        while True:
+            page = timeline.page(max_id=max_id, limit=7)
+            if not page:
+                break
+            collected.extend(t.toot_id for t in page)
+            max_id = min(t.toot_id for t in page)
+        assert sorted(collected) == list(range(1, 101))
+
+    def test_public_only_filter(self):
+        timeline = Timeline()
+        timeline.add(make_toot(1, Visibility.PRIVATE))
+        timeline.add(make_toot(2))
+        assert [t.toot_id for t in timeline.page()] == [2]
+        assert [t.toot_id for t in timeline.page(public_only=False)] == [2, 1]
+        assert timeline.count(public_only=True) == 1
+        assert timeline.count() == 2
+
+    def test_zero_or_negative_limit(self):
+        timeline = Timeline()
+        timeline.add(make_toot(1))
+        assert timeline.page(limit=0) == []
+        assert timeline.page(limit=-1) == []
+
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=200, unique=True))
+    def test_paging_covers_exactly_the_public_toots(self, toot_ids):
+        timeline = Timeline()
+        for toot_id in toot_ids:
+            timeline.add(make_toot(toot_id))
+        collected: list[int] = []
+        max_id = None
+        while True:
+            page = timeline.page(max_id=max_id, limit=13)
+            if not page:
+                break
+            collected.extend(t.toot_id for t in page)
+            max_id = min(t.toot_id for t in page)
+        assert sorted(collected) == sorted(toot_ids)

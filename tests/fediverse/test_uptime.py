@@ -1,0 +1,129 @@
+"""Tests for the availability schedule and outage bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fediverse.uptime import (
+    ASOutageEvent,
+    AvailabilitySchedule,
+    Outage,
+    OutageCause,
+)
+from repro.simtime import MINUTES_PER_DAY, TimeWindow
+
+WINDOW = 10 * MINUTES_PER_DAY
+
+
+def make_schedule() -> AvailabilitySchedule:
+    return AvailabilitySchedule(window_minutes=WINDOW)
+
+
+class TestOutage:
+    def test_durations(self):
+        outage = Outage("a.example", TimeWindow(0, MINUTES_PER_DAY))
+        assert outage.duration_minutes == MINUTES_PER_DAY
+        assert outage.duration_days == pytest.approx(1.0)
+        assert outage.cause is OutageCause.INSTANCE
+
+
+class TestAvailabilitySchedule:
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            AvailabilitySchedule(window_minutes=0)
+
+    def test_online_by_default(self):
+        schedule = make_schedule()
+        assert schedule.is_online("a.example", 100)
+        assert schedule.downtime_minutes("a.example") == 0
+
+    def test_outage_makes_instance_offline(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(100, 200)))
+        assert not schedule.is_online("a.example", 150)
+        assert schedule.is_online("a.example", 99)
+        assert schedule.is_online("a.example", 200)
+
+    def test_outage_clipped_to_window(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(WINDOW - 50, WINDOW + 500)))
+        assert schedule.downtime_minutes("a.example") == 50
+
+    def test_outage_outside_window_ignored(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(WINDOW + 10, WINDOW + 20)))
+        assert schedule.outages_for("a.example") == []
+
+    def test_downtime_fraction(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(0, WINDOW // 2)))
+        assert schedule.downtime_fraction("a.example") == pytest.approx(0.5)
+
+    def test_downtime_fraction_invalid_range(self):
+        schedule = make_schedule()
+        with pytest.raises(ConfigurationError):
+            schedule.downtime_fraction("a.example", 10, 10)
+
+    def test_overlapping_outages_merged_for_downtime(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(0, 100)))
+        schedule.add_outage(Outage("a.example", TimeWindow(50, 150)))
+        assert schedule.downtime_minutes("a.example") == 150
+        assert len(schedule.merged_outage_windows("a.example")) == 1
+
+    def test_daily_downtime_fractions(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(0, MINUTES_PER_DAY // 2)))
+        daily = schedule.daily_downtime_fractions("a.example")
+        assert len(daily) == 10
+        assert daily[0] == pytest.approx(0.5)
+        assert daily[1] == 0.0
+
+    def test_continuous_outage_days_and_longest(self):
+        schedule = make_schedule()
+        schedule.add_outage(Outage("a.example", TimeWindow(0, 2 * MINUTES_PER_DAY)))
+        schedule.add_outage(Outage("a.example", TimeWindow(5 * MINUTES_PER_DAY, 6 * MINUTES_PER_DAY)))
+        days = schedule.continuous_outage_days("a.example")
+        assert days == pytest.approx([2.0, 1.0])
+        assert schedule.longest_outage_days("a.example") == pytest.approx(2.0)
+        assert schedule.longest_outage_days("never-down.example") == 0.0
+
+    def test_as_event_adds_per_instance_outages(self):
+        schedule = make_schedule()
+        event = ASOutageEvent(
+            asn=9370,
+            window=TimeWindow(100, 200),
+            domains=("a.example", "b.example"),
+        )
+        schedule.add_as_event(event)
+        assert not schedule.is_online("a.example", 150)
+        assert not schedule.is_online("b.example", 150)
+        assert len(schedule.as_events()) == 1
+        assert all(o.cause is OutageCause.AS_FAILURE for o in schedule.outages_for("a.example"))
+
+    def test_permanent_down(self):
+        schedule = make_schedule()
+        schedule.mark_permanently_down("a.example", 5 * MINUTES_PER_DAY)
+        assert schedule.is_permanently_down("a.example")
+        assert not schedule.is_permanently_down("a.example", minute=0)
+        assert schedule.is_permanently_down("a.example", minute=6 * MINUTES_PER_DAY)
+        assert schedule.is_online("a.example", 0)
+        assert not schedule.is_online("a.example", WINDOW - 1)
+        assert not schedule.is_permanently_down("b.example")
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, WINDOW - 1), st.integers(1, MINUTES_PER_DAY)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_downtime_never_exceeds_window(self, raw):
+        schedule = make_schedule()
+        for start, length in raw:
+            schedule.add_outage(Outage("a.example", TimeWindow(start, start + length)))
+        downtime = schedule.downtime_minutes("a.example")
+        assert 0 <= downtime <= WINDOW
+        assert 0.0 <= schedule.downtime_fraction("a.example") <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for summary statistics: percentiles, Gini, correlations, box plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.summary import (
+    boxplot_stats,
+    gini_coefficient,
+    pearson_correlation,
+    percentile,
+    spearman_correlation,
+    summarise,
+)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(AnalysisError):
+            percentile([1], 101)
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_perfect_inequality_approaches_one(self):
+        sample = [0] * 99 + [100]
+        assert gini_coefficient(sample) > 0.95
+
+    def test_all_zero(self):
+        assert gini_coefficient([0, 0, 0]) == 0.0
+
+    def test_rejects_negative_and_empty(self):
+        with pytest.raises(AnalysisError):
+            gini_coefficient([-1, 1])
+        with pytest.raises(AnalysisError):
+            gini_coefficient([])
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=100))
+    def test_gini_bounded(self, sample):
+        value = gini_coefficient(sample)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.lists(st.floats(0.1, 1e6, allow_nan=False), min_size=2, max_size=50))
+    def test_gini_scale_invariant(self, sample):
+        assert gini_coefficient(sample) == pytest.approx(
+            gini_coefficient([3.5 * v for v in sample]), abs=1e-9
+        )
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_few_observations(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation([1], [2])
+
+    def test_spearman_monotone_transform(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [v ** 3 for v in xs]
+        assert spearman_correlation(xs, ys) == pytest.approx(1.0)
+
+    def test_spearman_with_ties(self):
+        value = spearman_correlation([1, 2, 2, 3], [1, 2, 2, 3])
+        assert value == pytest.approx(1.0)
+
+
+class TestBoxplot:
+    def test_basic_quartiles(self):
+        stats = boxplot_stats(range(1, 101))
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 < stats.median < stats.q3
+        assert stats.minimum == 1
+        assert stats.maximum == 100
+        assert stats.iqr == stats.q3 - stats.q1
+
+    def test_outliers_detected(self):
+        stats = boxplot_stats([1, 2, 3, 4, 5, 100])
+        assert 100 in stats.outliers
+        assert stats.whisker_high <= 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            boxplot_stats([])
+
+    @given(st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=100))
+    def test_ordering_invariants(self, sample):
+        stats = boxplot_stats(sample)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        assert stats.whisker_low <= stats.whisker_high
+
+
+class TestSummarise:
+    def test_fields_present_and_consistent(self):
+        result = summarise([1, 2, 3, 4])
+        assert result["count"] == 4
+        assert result["sum"] == 10
+        assert result["min"] == 1
+        assert result["max"] == 4
+        assert result["median"] == pytest.approx(2.5)
+        assert result["mean"] == pytest.approx(np.mean([1, 2, 3, 4]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarise([])

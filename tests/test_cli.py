@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_defaults(self):
+        args = build_parser().parse_args(["scenario"])
+        assert args.preset == "tiny"
+        assert args.seed == 7
+
+    def test_invalid_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "--preset", "gigantic"])
+
+    def test_export_requires_output_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+
+class TestCommands:
+    def test_experiments_lists_registry(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "fig12" in output
+        assert "table1" in output
+        assert "benchmarks/bench_fig16_random_replication.py" in output
+
+    def test_scenario_prints_population(self, capsys):
+        assert main(["scenario", "--preset", "tiny", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "instances" in output
+        assert "users" in output
+
+    def test_report_prints_headlines(self, capsys):
+        assert main(["report", "--preset", "tiny", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "top 10% instances" in output
+        assert "mean instance downtime" in output
+
+    def test_export_writes_files(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "export",
+                    str(tmp_path / "dump"),
+                    "--preset",
+                    "tiny",
+                    "--seed",
+                    "3",
+                    "--salt",
+                    "fixed-salt",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "anonymisation salt: fixed-salt" in output
+        assert (tmp_path / "dump" / "instance_snapshots.jsonl").exists()
+        assert (tmp_path / "dump" / "toots.jsonl").exists()
+        assert (tmp_path / "dump" / "follower_edges.jsonl").exists()

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+            if obj.__module__ == "repro.errors":
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_http_error_message_contains_status_and_url():
+    error = errors.HTTPError("https://x.example/api", 500, "boom")
+    assert "500" in str(error)
+    assert "x.example" in str(error)
+    assert error.status == 500
+
+
+def test_instance_unavailable_is_http_503():
+    error = errors.InstanceUnavailableError("https://x.example/")
+    assert error.status == 503
+    assert isinstance(error, errors.HTTPError)
+    assert isinstance(error, errors.CrawlError)
+
+
+def test_rate_limit_error_carries_retry_after():
+    error = errors.RateLimitError("https://x.example/", retry_after=12.5)
+    assert error.status == 429
+    assert error.retry_after == pytest.approx(12.5)
+
+
+def test_unknown_instance_and_user_messages():
+    assert "nope.example" in str(errors.UnknownInstanceError("nope.example"))
+    assert "ghost" in str(errors.UnknownUserError("ghost"))
+
+
+def test_registration_closed_error():
+    error = errors.RegistrationClosedError("closed.example")
+    assert "closed.example" in str(error)
+    assert isinstance(error, errors.SimulationError)

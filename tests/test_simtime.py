@@ -1,0 +1,135 @@
+"""Tests for the simulated clock and time-window arithmetic."""
+
+from __future__ import annotations
+
+from datetime import date, datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simtime import (
+    MINUTES_PER_DAY,
+    PAPER_WINDOW_DAYS,
+    SimClock,
+    TimeWindow,
+    days_to_minutes,
+    merge_windows,
+    minutes_to_days,
+    total_duration,
+)
+
+
+class TestSimClock:
+    def test_defaults_match_paper_window(self):
+        clock = SimClock()
+        assert clock.window_days == PAPER_WINDOW_DAYS
+        assert clock.window_minutes == PAPER_WINDOW_DAYS * MINUTES_PER_DAY
+
+    def test_advance_and_reset(self):
+        clock = SimClock(window_days=10)
+        assert clock.advance(90) == 90
+        assert clock.now == 90
+        clock.reset()
+        assert clock.now == 0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock(window_days=10)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_set_rejects_negative(self):
+        clock = SimClock(window_days=10)
+        with pytest.raises(ValueError):
+            clock.set(-5)
+
+    def test_to_datetime_roundtrip(self):
+        clock = SimClock(start_date=date(2017, 4, 11), window_days=30)
+        moment = clock.to_datetime(36 * 60)
+        assert moment == datetime(2017, 4, 12, 12, 0)
+        assert clock.minute_of(moment) == 36 * 60
+
+    def test_day_index(self):
+        clock = SimClock(window_days=10)
+        assert clock.day_index(0) == 0
+        assert clock.day_index(MINUTES_PER_DAY - 1) == 0
+        assert clock.day_index(MINUTES_PER_DAY) == 1
+
+    def test_iter_ticks_respects_interval_and_bounds(self):
+        clock = SimClock(window_days=1)
+        ticks = list(clock.iter_ticks(interval_minutes=360))
+        assert ticks == [0, 360, 720, 1080]
+
+    def test_iter_ticks_rejects_bad_interval(self):
+        clock = SimClock(window_days=1)
+        with pytest.raises(ValueError):
+            list(clock.iter_ticks(interval_minutes=0))
+
+    def test_iter_days(self):
+        clock = SimClock(window_days=5)
+        assert list(clock.iter_days()) == [0, 1, 2, 3, 4]
+
+
+class TestTimeWindow:
+    def test_duration_and_contains(self):
+        window = TimeWindow(10, 20)
+        assert window.duration == 10
+        assert window.contains(10)
+        assert window.contains(19)
+        assert not window.contains(20)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(5, 4)
+
+    def test_overlap_and_intersection(self):
+        assert TimeWindow(0, 10).overlaps(TimeWindow(5, 15))
+        assert not TimeWindow(0, 10).overlaps(TimeWindow(10, 15))
+        assert TimeWindow(0, 10).intersection(TimeWindow(5, 15)) == TimeWindow(5, 10)
+        assert TimeWindow(0, 10).intersection(TimeWindow(12, 15)) is None
+
+    def test_clamp(self):
+        assert TimeWindow(0, 100).clamp(50, 70) == TimeWindow(50, 70)
+        assert TimeWindow(0, 40).clamp(50, 70) is None
+
+
+class TestMergeWindows:
+    def test_merges_overlapping_and_adjacent(self):
+        merged = merge_windows(
+            [TimeWindow(0, 10), TimeWindow(5, 15), TimeWindow(15, 20), TimeWindow(30, 40)]
+        )
+        assert merged == [TimeWindow(0, 20), TimeWindow(30, 40)]
+
+    def test_total_duration(self):
+        windows = [TimeWindow(0, 10), TimeWindow(5, 15), TimeWindow(20, 25)]
+        assert total_duration(windows) == 20
+
+    def test_empty(self):
+        assert merge_windows([]) == []
+        assert total_duration([]) == 0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 500), st.integers(1, 100)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_merge_invariants(self, raw):
+        windows = [TimeWindow(start, start + length) for start, length in raw]
+        merged = merge_windows(windows)
+        # merged windows are sorted and pairwise disjoint
+        for first, second in zip(merged, merged[1:]):
+            assert first.end < second.start or first.end <= second.start
+        # total duration never exceeds the sum and never undercounts any window
+        assert total_duration(windows) <= sum(w.duration for w in windows)
+        assert total_duration(windows) >= max(w.duration for w in windows)
+
+
+class TestConversions:
+    def test_minutes_days_roundtrip(self):
+        assert minutes_to_days(MINUTES_PER_DAY) == 1.0
+        assert days_to_minutes(2) == 2 * MINUTES_PER_DAY
+
+    @given(st.floats(min_value=0, max_value=1000, allow_nan=False))
+    def test_days_to_minutes_monotone(self, days):
+        assert days_to_minutes(days) >= 0
