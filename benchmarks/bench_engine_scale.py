@@ -1,0 +1,166 @@
+"""Engine vs legacy loop on a 100k-toot availability sweep (the tentpole claim).
+
+The legacy ``_availability_curve_python`` walks every toot's holder set in
+Python once *per removal schedule*; the engine builds one toot×instance
+CSR incidence matrix and answers every schedule with batched numpy
+reductions.  This benchmark runs an 8-schedule sweep (instance and AS
+removal schedules under several rankings) over 100,000 synthetic toots
+and asserts the engine is at least 10× faster end-to-end — including the
+one-off matrix build.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scale.py
+
+or through the harness::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_scale.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.replication import PlacementMap, _availability_curve_python
+from repro.engine import ASRemoval, InstanceRemoval, TootIncidence, availability_curves
+
+N_TOOTS = 100_000
+N_DOMAINS = 400
+MAX_REPLICAS = 30
+REPLICA_GEOMETRIC_P = 0.08  # heavy replica tail, like subscription replication
+INSTANCE_STEPS = N_DOMAINS  # the full decay curve: every instance eventually fails
+AS_STEPS = 40
+N_INSTANCE_RANKINGS = 16
+MIN_SPEEDUP = 10.0
+
+
+def synthetic_placements(
+    n_toots: int = N_TOOTS, n_domains: int = N_DOMAINS, seed: int = 0
+) -> tuple[PlacementMap, list[str], dict[str, int]]:
+    """A 100k-toot placement map with a Zipf-like popularity skew."""
+    rng = np.random.default_rng(seed)
+    domains = [f"i{j}.example" for j in range(n_domains)]
+    popularity = 1.0 / np.arange(1, n_domains + 1)
+    popularity /= popularity.sum()
+    homes = rng.choice(n_domains, size=n_toots, p=popularity)
+    n_replicas = np.minimum(rng.geometric(REPLICA_GEOMETRIC_P, size=n_toots), MAX_REPLICAS)
+    replica_pool = rng.integers(0, n_domains, size=(n_toots, MAX_REPLICAS))
+    placements = {
+        f"https://{domains[homes[t]]}/toots/{t}": frozenset(
+            [domains[homes[t]]] + [domains[j] for j in replica_pool[t, : n_replicas[t]]]
+        )
+        for t in range(n_toots)
+    }
+    asn_of = {domain: int(asn) for domain, asn in zip(domains, rng.integers(1, 40, size=n_domains))}
+    return PlacementMap(strategy="synthetic", placements=placements), domains, asn_of
+
+
+def build_failures(domains: list[str], asn_of: dict[str, int], seed: int = 1):
+    """Twenty removal schedules: sixteen instance rankings, four AS rankings."""
+    rng = np.random.default_rng(seed)
+    failures = [
+        InstanceRemoval(domains, steps=INSTANCE_STEPS, name="by-popularity")
+    ]
+    for i in range(N_INSTANCE_RANKINGS - 1):
+        permuted = [domains[j] for j in rng.permutation(len(domains))]
+        failures.append(
+            InstanceRemoval(permuted, steps=INSTANCE_STEPS, name=f"ranking-{i}")
+        )
+    as_ranking = sorted(set(asn_of.values()))[:AS_STEPS]
+    failures.append(ASRemoval(asn_of, as_ranking, steps=AS_STEPS, name="as-forward"))
+    failures.append(
+        ASRemoval(asn_of, as_ranking[::-1], steps=AS_STEPS, name="as-reverse")
+    )
+    for i in range(2):
+        shuffled = [as_ranking[j] for j in rng.permutation(len(as_ranking))]
+        failures.append(
+            ASRemoval(asn_of, shuffled, steps=AS_STEPS, name=f"as-shuffle-{i}")
+        )
+    return failures
+
+
+def run_legacy(placements, failures):
+    return {
+        failure.name: _availability_curve_python(
+            placements, failure.removal_index(), failure.effective_steps()
+        )
+        for failure in failures
+    }
+
+
+def run_engine(placements, failures):
+    incidence = TootIncidence.from_placements(placements)
+    return availability_curves(incidence, failures)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
+def compare(placements, failures, rounds: int = 3):
+    """Best-of-``rounds`` wall time per side, measured in alternation.
+
+    Alternating legacy/engine rounds and keeping each side's minimum
+    makes the ratio robust to CPU-steal windows on shared machines: a
+    slow patch must cover *every* round of one side to skew the result.
+    """
+    legacy_time = engine_time = float("inf")
+    legacy_curves = engine_curves = None
+    for _ in range(rounds):
+        legacy_curves, elapsed = _timed(run_legacy, placements, failures)
+        legacy_time = min(legacy_time, elapsed)
+        engine_curves, elapsed = _timed(run_engine, placements, failures)
+        engine_time = min(engine_time, elapsed)
+    for name in legacy_curves:
+        assert engine_curves[name] == legacy_curves[name], f"divergence on {name}"
+    return legacy_time, engine_time
+
+
+def run_comparison(n_toots: int = N_TOOTS):
+    placements, domains, asn_of = synthetic_placements(n_toots=n_toots)
+    failures = build_failures(domains, asn_of)
+    legacy_time, engine_time = compare(placements, failures)
+    return legacy_time, engine_time, len(failures)
+
+
+def test_engine_scale_speedup(benchmark):
+    placements, domains, asn_of = synthetic_placements()
+    failures = build_failures(domains, asn_of)
+
+    benchmark.pedantic(run_engine, args=(placements, failures), rounds=1, iterations=1)
+    legacy_time, engine_time = compare(placements, failures)
+
+    from benchmarks.conftest import emit
+    from repro.reporting import format_table
+
+    speedup = legacy_time / engine_time
+    emit(
+        f"Engine scale — {N_TOOTS:,} toots, {len(failures)} removal schedules",
+        format_table(
+            ["pipeline", "seconds", "speedup"],
+            [
+                ["legacy python loops", round(legacy_time, 3), "1.0x"],
+                ["engine (CSR batch)", round(engine_time, 3), f"{speedup:.1f}x"],
+            ],
+        ),
+    )
+    # identical output, much faster (the tentpole acceptance criterion)
+    assert speedup >= MIN_SPEEDUP
+
+
+def main() -> None:
+    legacy_time, engine_time, n_failures = run_comparison()
+    speedup = legacy_time / engine_time
+    print(f"availability sweep: {N_TOOTS:,} toots x {n_failures} schedules")
+    print(f"  legacy python loops : {legacy_time:8.3f}s")
+    print(f"  engine (CSR batch)  : {engine_time:8.3f}s")
+    print(f"  speedup             : {speedup:8.1f}x (required >= {MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP, "engine speedup regressed below 10x"
+
+
+if __name__ == "__main__":
+    main()

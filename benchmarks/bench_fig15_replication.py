@@ -5,11 +5,15 @@ Paper shape: without replication, removing the top 10 instances (by
 toots) erases 62.69% of all toots and removing the top 10 ASes erases
 90.1%; replicating each toot to its followers' instances cuts those
 losses to 2.1% and 18.66% respectively.
+
+Both experiments dispatch through the engine's sweep API: one incidence
+matrix per strategy, every removal schedule batched against it.
 """
 
 from __future__ import annotations
 
 from repro.core import replication, resilience
+from repro.engine import ASRemoval, InstanceRemoval, StrategySpec, run_availability_sweep
 from repro.reporting import format_percentage, format_table
 
 from benchmarks.conftest import emit
@@ -36,33 +40,37 @@ def _rankings(data):
     return instance_rankings, as_rankings, asn_of
 
 
+def _failures(instance_rankings, as_rankings, asn_of):
+    return [
+        *(
+            InstanceRemoval(ranking, steps=INSTANCE_STEPS, name=f"instances/{name}")
+            for name, ranking in instance_rankings.items()
+        ),
+        *(
+            ASRemoval(asn_of, ranking, steps=AS_STEPS, name=f"ases/{name}")
+            for name, ranking in as_rankings.items()
+        ),
+    ]
+
+
 def test_fig15_no_replication(benchmark, data):
     instance_rankings, as_rankings, asn_of = _rankings(data)
+    failures = _failures(instance_rankings, as_rankings, asn_of)
 
     def run():
-        placements = replication.no_replication(data.toots)
-        instance_curves = {
-            name: replication.availability_under_instance_removal(
-                placements, ranking, steps=INSTANCE_STEPS
-            )
-            for name, ranking in instance_rankings.items()
-        }
-        as_curves = {
-            name: replication.availability_under_as_removal(
-                placements, asn_of, ranking, steps=AS_STEPS
-            )
-            for name, ranking in as_rankings.items()
-        }
-        return instance_curves, as_curves
+        return run_availability_sweep(data.toots, [StrategySpec.none()], failures)
 
-    instance_curves, as_curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def at(failure, removed):
+        return replication.availability_at(result.curve("no-rep", failure), removed)
 
     rows = [
         [
             removed,
-            format_percentage(replication.availability_at(instance_curves["by_toots"], removed)),
-            format_percentage(replication.availability_at(instance_curves["by_users"], removed)),
-            format_percentage(replication.availability_at(instance_curves["by_connections"], removed)),
+            format_percentage(at("instances/by_toots", removed)),
+            format_percentage(at("instances/by_users", removed)),
+            format_percentage(at("instances/by_connections", removed)),
         ]
         for removed in (0, 5, 10, 25, 50)
     ]
@@ -73,8 +81,8 @@ def test_fig15_no_replication(benchmark, data):
     as_rows = [
         [
             removed,
-            format_percentage(replication.availability_at(as_curves["by_instances"], removed)),
-            format_percentage(replication.availability_at(as_curves["by_users"], removed)),
+            format_percentage(at("ases/by_instances", removed)),
+            format_percentage(at("ases/by_users", removed)),
         ]
         for removed in (0, 3, 5, 10, 15)
     ]
@@ -84,32 +92,34 @@ def test_fig15_no_replication(benchmark, data):
     )
 
     # removing the top 10 instances erases a large share of toots (paper: 62.69%)
-    top10 = replication.availability_at(instance_curves["by_toots"], 10)
+    top10 = at("instances/by_toots", 10)
     assert top10 < 0.7
     # removing the top 10 ASes is even worse (paper: 90.1% lost)
-    top10_as = replication.availability_at(as_curves["by_users"], 10)
+    top10_as = at("ases/by_users", 10)
     assert top10_as <= top10 + 0.05
 
 
 def test_fig15_subscription_replication(benchmark, data):
     instance_rankings, as_rankings, asn_of = _rankings(data)
+    failures = [
+        InstanceRemoval(instance_rankings["by_toots"], steps=INSTANCE_STEPS, name="instances"),
+        ASRemoval(asn_of, as_rankings["by_users"], steps=AS_STEPS, name="ases"),
+    ]
 
     def run():
-        placements = replication.subscription_replication(data.toots, data.graphs)
-        instance_curve = replication.availability_under_instance_removal(
-            placements, instance_rankings["by_toots"], steps=INSTANCE_STEPS
+        return run_availability_sweep(
+            data.toots,
+            [StrategySpec.none(), StrategySpec.subscription()],
+            failures,
+            graphs=data.graphs,
+            keep_placements=True,
         )
-        as_curve = replication.availability_under_as_removal(
-            placements, asn_of, as_rankings["by_users"], steps=AS_STEPS
-        )
-        return placements, instance_curve, as_curve
 
-    placements, instance_curve, as_curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    instance_curve = result.curve("s-rep", "instances")
+    as_curve = result.curve("s-rep", "ases")
+    no_rep_curve = result.curve("no-rep", "instances")
 
-    no_rep = replication.no_replication(data.toots)
-    no_rep_curve = replication.availability_under_instance_removal(
-        no_rep, instance_rankings["by_toots"], steps=INSTANCE_STEPS
-    )
     rows = [
         [
             removed,
@@ -122,7 +132,7 @@ def test_fig15_subscription_replication(benchmark, data):
         "Fig. 15(c,d) — subscription replication vs no replication (instance removal by toots)",
         format_table(["instances removed", "no replication", "subscription replication"], rows),
     )
-    summary = placements.replication_summary()
+    summary = result.placements["s-rep"].replication_summary()
     emit(
         "Fig. 15 — subscription replication placement summary",
         format_table(

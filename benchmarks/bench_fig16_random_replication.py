@@ -5,12 +5,16 @@ subscription-based replication for the same budget (after removing 25
 instances, S-Rep keeps 95% of toots available while a single random
 replica already keeps 99.2%); curves for n > 4 are indistinguishable from
 full availability.
+
+The whole strategy grid — no replication, subscription, and six random
+replica budgets — is one engine sweep call sharing the removal schedule.
 """
 
 from __future__ import annotations
 
-from repro.core import replication, resilience
-from repro.reporting import format_percentage, format_table
+from repro.core import resilience
+from repro.engine import InstanceRemoval, StrategySpec, run_availability_sweep
+from repro.reporting import format_sweep_table
 
 from benchmarks.conftest import emit
 
@@ -25,40 +29,31 @@ def test_fig16_random_replication(benchmark, data):
         by="toots",
     )
     domains = data.instances.domains()
+    strategies = [
+        StrategySpec.none(name="no-rep"),
+        StrategySpec.subscription(name="s-rep"),
+        *(StrategySpec.random(n, seed=7, name=f"n={n}") for n in REPLICA_COUNTS),
+    ]
+    failure = InstanceRemoval(ranking, steps=STEPS, name="instances")
 
     def run():
-        curves = {
-            "no-rep": replication.availability_under_instance_removal(
-                replication.no_replication(data.toots), ranking, steps=STEPS
-            ),
-            "s-rep": replication.availability_under_instance_removal(
-                replication.subscription_replication(data.toots, data.graphs), ranking, steps=STEPS
-            ),
-        }
-        for n_replicas in REPLICA_COUNTS:
-            curves[f"n={n_replicas}"] = replication.availability_under_instance_removal(
-                replication.random_replication(data.toots, domains, n_replicas, seed=7),
-                ranking,
-                steps=STEPS,
-            )
-        return curves
+        return run_availability_sweep(
+            data.toots,
+            strategies,
+            [failure],
+            graphs=data.graphs,
+            candidate_domains=domains,
+        )
 
-    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
 
     removals = (5, 10, 25, 50)
-    rows = []
-    for name in ("no-rep", "s-rep", *(f"n={n}" for n in REPLICA_COUNTS)):
-        row = [name] + [
-            format_percentage(replication.availability_at(curves[name], removed))
-            for removed in removals
-        ]
-        rows.append(row)
     emit(
         "Fig. 16 — toot availability when removing top instances (by toots)",
-        format_table(["strategy"] + [f"top {r} removed" for r in removals], rows),
+        format_sweep_table(result, "instances", removals),
     )
 
-    at25 = {name: replication.availability_at(curve, 25) for name, curve in curves.items()}
+    at25 = result.compare("instances", 25)
     # ordering: no replication < subscription replication <= random replication
     assert at25["no-rep"] < at25["s-rep"]
     assert at25["n=1"] >= at25["s-rep"] - 0.05

@@ -12,6 +12,8 @@ The package is organised in layers:
 * :mod:`repro.datasets` — the paper's three datasets plus the Twitter
   baselines, built from crawler output;
 * :mod:`repro.core` — the analyses behind every figure and table;
+* :mod:`repro.engine` — the sparse-matrix failure-simulation engine the
+  resilience/replication hot paths (Figs. 11-16) dispatch through;
 * :mod:`repro.reporting` — table/figure rendering and the experiment index.
 
 Quick start::

@@ -12,6 +12,15 @@ placement strategies:
 A toot is considered available as long as at least one instance holding a
 copy is still up (the paper assumes a global index such as a DHT to find
 replicas).
+
+Availability curves are computed by the sparse-matrix failure-simulation
+engine (:mod:`repro.engine`): the placement map becomes a toot×instance
+CSR incidence matrix and each removal schedule is one batched reduction.
+The pure-Python loop is kept as :func:`_availability_curve_python` — the
+reference implementation the differential suite checks the engine
+against.  For parameter sweeps (many strategies × rankings × seeds) use
+:func:`repro.engine.run_availability_sweep`, which reuses one incidence
+matrix per strategy across every failure schedule.
 """
 
 from __future__ import annotations
@@ -146,7 +155,29 @@ def _availability_curve(
     (1-based); domains absent from the mapping never disappear.  A toot
     becomes unavailable at the step when its *last* holding domain is
     removed.
+
+    Dispatches to the vectorised engine kernels; the legacy loop lives on
+    as :func:`_availability_curve_python` for differential testing.
     """
+    from repro.engine.incidence import TootIncidence
+    from repro.engine.kernels import availability_curve_array
+
+    incidence = TootIncidence.from_placements(placements)
+    curve = availability_curve_array(
+        incidence.matrix, incidence.removal_vector(removal_index, steps), steps
+    )
+    return [
+        AvailabilityPoint(removed=step, availability=float(value))
+        for step, value in enumerate(curve)
+    ]
+
+
+def _availability_curve_python(
+    placements: PlacementMap,
+    removal_index: Mapping[str, int],
+    steps: int,
+) -> list[AvailabilityPoint]:
+    """The original per-toot loop — the engine's reference implementation."""
     total = len(placements.placements)
     if total == 0:
         raise AnalysisError("the placement map is empty")
@@ -175,11 +206,10 @@ def availability_under_instance_removal(
     steps: int = 100,
 ) -> list[AvailabilityPoint]:
     """Toot availability while removing the top-N instances (Figs. 15b/d, 16)."""
-    if steps < 1:
-        raise AnalysisError("steps must be positive")
-    ranking = list(instance_ranking)[:steps]
-    removal_index = {domain: i + 1 for i, domain in enumerate(ranking)}
-    return _availability_curve(placements, removal_index, len(ranking))
+    from repro.engine.failures import InstanceRemoval
+    from repro.engine.sweep import availability_curve
+
+    return availability_curve(placements, InstanceRemoval(instance_ranking, steps=steps))
 
 
 def availability_under_as_removal(
@@ -189,16 +219,10 @@ def availability_under_as_removal(
     steps: int = 25,
 ) -> list[AvailabilityPoint]:
     """Toot availability while removing the top-N ASes (Figs. 15a/c, 16)."""
-    if steps < 1:
-        raise AnalysisError("steps must be positive")
-    ranking = list(as_ranking)[:steps]
-    as_index = {asn: i + 1 for i, asn in enumerate(ranking)}
-    removal_index = {
-        domain: as_index[asn]
-        for domain, asn in asn_of_instance.items()
-        if asn in as_index
-    }
-    return _availability_curve(placements, removal_index, len(ranking))
+    from repro.engine.failures import ASRemoval
+    from repro.engine.sweep import availability_curve
+
+    return availability_curve(placements, ASRemoval(asn_of_instance, as_ranking, steps=steps))
 
 
 def availability_at(curve: Iterable[AvailabilityPoint], removed: int) -> float:

@@ -4,6 +4,14 @@ The paper quantifies how the follower graph and the instance federation
 graph degrade when the most important users, instances or hosting ASes
 disappear, using two metrics throughout: the size of the largest
 (weakly) connected component and the number of connected components.
+
+The removal sweeps dispatch to the sparse-matrix engine
+(:mod:`repro.engine.resilience`): the graph is converted once to a CSR
+adjacency matrix and every round is a submatrix slice plus one
+:func:`scipy.sparse.csgraph.connected_components` call, instead of a
+:mod:`networkx` copy degraded in Python.  The original implementations
+are kept as ``_*_python`` reference functions for the differential suite
+in ``tests/engine/test_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -64,6 +72,19 @@ def user_removal_sweep(
     count) and the component count — the paper's methodology for testing
     the social graph's attack tolerance.
     """
+    from repro.engine.resilience import user_removal_sweep_matrix
+
+    return user_removal_sweep_matrix(
+        follower_graph, rounds=rounds, fraction_per_round=fraction_per_round
+    )
+
+
+def _user_removal_sweep_python(
+    follower_graph: nx.DiGraph,
+    rounds: int = 20,
+    fraction_per_round: float = 0.01,
+) -> list[RemovalStep]:
+    """The original networkx loop — the engine's reference implementation."""
     if rounds < 1:
         raise AnalysisError("need at least one removal round")
     if not 0.0 < fraction_per_round <= 1.0:
@@ -115,6 +136,18 @@ def ranked_removal_sweep(
     still consume a slot in the removal schedule so that step indices stay
     aligned with the ranking.
     """
+    from repro.engine.resilience import ranked_removal_sweep_matrix
+
+    return ranked_removal_sweep_matrix(graph, ranking, steps=steps, per_step=per_step)
+
+
+def _ranked_removal_sweep_python(
+    graph: nx.Graph | nx.DiGraph,
+    ranking: Sequence[str],
+    steps: int = 20,
+    per_step: int = 1,
+) -> list[RemovalStep]:
+    """The original networkx loop — the engine's reference implementation."""
     if steps < 1 or per_step < 1:
         raise AnalysisError("steps and per_step must be positive")
     working = graph.copy()
@@ -214,6 +247,20 @@ def as_removal_sweep(
     steps: int = 20,
 ) -> list[RemovalStep]:
     """Remove entire ASes (and every instance they host) from GF (Fig. 13b)."""
+    from repro.engine.resilience import as_removal_sweep_matrix
+
+    return as_removal_sweep_matrix(
+        federation_graph, asn_of_instance, as_ranking, steps=steps
+    )
+
+
+def _as_removal_sweep_python(
+    federation_graph: nx.DiGraph,
+    asn_of_instance: Mapping[str, int],
+    as_ranking: Sequence[int],
+    steps: int = 20,
+) -> list[RemovalStep]:
+    """The original networkx loop — the engine's reference implementation."""
     if steps < 1:
         raise AnalysisError("steps must be positive")
     working = federation_graph.copy()

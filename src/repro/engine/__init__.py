@@ -1,0 +1,71 @@
+"""The failure-simulation engine: sparse-matrix kernels for Figs. 11-16.
+
+The engine is the vectorised substrate under :mod:`repro.core.replication`
+and :mod:`repro.core.resilience`.  It models the expensive objects once —
+
+* :class:`TootIncidence` — a toot×instance CSR incidence matrix built
+  from a :class:`~repro.core.replication.PlacementMap` (plus an
+  instance→AS assignment vector);
+* :class:`GraphMatrix` — a binary CSR adjacency matrix with the node
+  ordering of the source :mod:`networkx` graph —
+
+and then answers whole experiments with batch numpy/scipy reductions:
+entire availability curves per failure schedule
+(:mod:`repro.engine.kernels`), whole LCC/component removal trajectories
+(:mod:`repro.engine.resilience`), and full (strategy × failure × seed)
+grids in one call (:mod:`repro.engine.sweep`).
+
+The public functions in :mod:`repro.core` remain the stable API; they
+dispatch here and are held to *bit-identical* outputs by the
+differential suite in ``tests/engine/test_equivalence.py``.  New failure
+models subclass :class:`FailureModel` — see :mod:`repro.engine.failures`.
+"""
+
+from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
+from repro.engine.incidence import NEVER_REMOVED, TootIncidence
+from repro.engine.kernels import (
+    availability_curve_array,
+    availability_curves_batch,
+    availability_from_losses,
+    kill_steps,
+    kill_steps_batch,
+    losses_per_step,
+)
+from repro.engine.resilience import (
+    GraphMatrix,
+    as_removal_sweep_matrix,
+    ranked_removal_sweep_matrix,
+    user_removal_sweep_matrix,
+)
+from repro.engine.sweep import (
+    StrategySpec,
+    SweepResult,
+    availability_curve,
+    availability_curves,
+    random_strategy_grid,
+    run_availability_sweep,
+)
+
+__all__ = [
+    "ASRemoval",
+    "FailureModel",
+    "GraphMatrix",
+    "InstanceRemoval",
+    "NEVER_REMOVED",
+    "StrategySpec",
+    "SweepResult",
+    "TootIncidence",
+    "as_removal_sweep_matrix",
+    "availability_curve",
+    "availability_curve_array",
+    "availability_curves",
+    "availability_curves_batch",
+    "availability_from_losses",
+    "kill_steps",
+    "kill_steps_batch",
+    "losses_per_step",
+    "random_strategy_grid",
+    "ranked_removal_sweep_matrix",
+    "run_availability_sweep",
+    "user_removal_sweep_matrix",
+]

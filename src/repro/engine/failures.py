@@ -1,0 +1,85 @@
+"""Failure models: who disappears, and at which removal step.
+
+A failure model reduces to one thing the kernels understand: a mapping
+``domain -> 1-based removal step`` plus the schedule length.  The two
+models from the paper are instance removal (Figs. 15b/d, 16) and AS
+removal (Figs. 15a/c), but anything that can name a per-domain removal
+step — correlated datacentre outages, country-level blocks, certificate
+expiries — plugs in the same way:
+
+1. subclass :class:`FailureModel`;
+2. implement :meth:`FailureModel.removal_index` (and, if the realised
+   schedule can be shorter than requested, :meth:`effective_steps`);
+3. hand it to :func:`repro.engine.sweep.availability_curve` or a sweep.
+
+Nothing else in the engine needs to change.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+
+class FailureModel:
+    """Base class: a named, fixed-length removal schedule."""
+
+    def __init__(self, name: str, steps: int) -> None:
+        if steps < 1:
+            raise AnalysisError("steps must be positive")
+        self.name = name
+        self.steps = steps
+
+    def removal_index(self) -> dict[str, int]:
+        """Map each failing domain to its 1-based removal step."""
+        raise NotImplementedError
+
+    def effective_steps(self) -> int:
+        """The realised schedule length (rankings may be shorter)."""
+        return self.steps
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, steps={self.steps})"
+
+
+class InstanceRemoval(FailureModel):
+    """Remove the top-``steps`` instances of ``ranking``, one per step."""
+
+    def __init__(
+        self, ranking: Sequence[str], steps: int = 100, name: str = "instance-removal"
+    ) -> None:
+        super().__init__(name=name, steps=steps)
+        self.ranking = tuple(ranking)
+
+    def removal_index(self) -> dict[str, int]:
+        return {domain: i + 1 for i, domain in enumerate(self.ranking[: self.steps])}
+
+    def effective_steps(self) -> int:
+        return min(self.steps, len(self.ranking))
+
+
+class ASRemoval(FailureModel):
+    """Remove the top-``steps`` ASes of ``ranking`` with every instance they host."""
+
+    def __init__(
+        self,
+        asn_of_instance: Mapping[str, int],
+        ranking: Sequence[int],
+        steps: int = 25,
+        name: str = "as-removal",
+    ) -> None:
+        super().__init__(name=name, steps=steps)
+        self.ranking = tuple(ranking)
+        self.asn_of_instance = dict(asn_of_instance)
+
+    def removal_index(self) -> dict[str, int]:
+        as_index = {asn: i + 1 for i, asn in enumerate(self.ranking[: self.steps])}
+        return {
+            domain: as_index[asn]
+            for domain, asn in self.asn_of_instance.items()
+            if asn in as_index
+        }
+
+    def effective_steps(self) -> int:
+        return min(self.steps, len(self.ranking))

@@ -1,0 +1,111 @@
+"""Toot×instance incidence matrices: the engine's core data structure.
+
+A :class:`TootIncidence` is a binary CSR matrix with one row per toot and
+one column per instance domain; ``matrix[t, d] == 1`` iff instance ``d``
+holds a copy of toot ``t``.  It is built **once** from a
+:class:`~repro.core.replication.PlacementMap` and then reduced many times
+by the batch kernels in :mod:`repro.engine.kernels` — one availability
+curve per removal schedule, with no per-toot Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import AnalysisError
+
+#: Sentinel removal step for domains that never fail within a schedule.
+NEVER_REMOVED = np.inf
+
+
+@dataclass
+class TootIncidence:
+    """Binary toot×instance incidence matrix plus its index maps."""
+
+    matrix: sparse.csr_matrix
+    toot_urls: tuple[str, ...]
+    domains: tuple[str, ...]
+    domain_index: dict[str, int]
+
+    @property
+    def n_toots(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def n_domains(self) -> int:
+        return self.matrix.shape[1]
+
+    @classmethod
+    def from_placements(cls, placements: "PlacementMap") -> "TootIncidence":
+        """Build the incidence matrix from a placement map.
+
+        Rows follow the placement map's insertion order; columns are the
+        sorted union of all holding domains, so the layout is
+        deterministic for a given map.
+        """
+        mapping = placements.placements
+        if not mapping:
+            raise AnalysisError("the placement map is empty")
+        domains = tuple(sorted(set(chain.from_iterable(mapping.values()))))
+        domain_index = {domain: j for j, domain in enumerate(domains)}
+
+        n_toots = len(mapping)
+        lengths = np.fromiter(map(len, mapping.values()), dtype=np.int64, count=n_toots)
+        if n_toots and lengths.min() == 0:
+            raise AnalysisError("every toot needs at least one holding instance")
+        indptr = np.zeros(n_toots + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        # chain + map stay in C; this is the only full pass over the holder sets
+        flat_domains = chain.from_iterable(mapping.values())
+        indices = np.fromiter(
+            map(domain_index.__getitem__, flat_domains),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        data = np.ones(len(indices), dtype=np.int8)
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr), shape=(n_toots, len(domains))
+        )
+        matrix.sort_indices()
+        toot_urls = list(mapping)
+        return cls(
+            matrix=matrix,
+            toot_urls=tuple(toot_urls),
+            domains=domains,
+            domain_index=domain_index,
+        )
+
+    def removal_vector(self, removal_index: Mapping[str, int], steps: int) -> np.ndarray:
+        """Per-domain removal steps as a dense float vector.
+
+        ``removal_index[d] = k`` means domain ``d`` disappears at step
+        ``k`` (1-based).  Domains absent from the mapping — or removed
+        after ``steps`` — get :data:`NEVER_REMOVED`, exactly mirroring the
+        legacy per-toot loop's survival rule.  Removed domains unknown to
+        the matrix are ignored: they cannot affect any toot.
+        """
+        vector = np.full(self.n_domains, NEVER_REMOVED, dtype=np.float64)
+        for domain, step in removal_index.items():
+            if step > steps:
+                continue
+            column = self.domain_index.get(domain)
+            if column is not None:
+                vector[column] = float(step)
+        return vector
+
+    def as_assignment(self, asn_of_instance: Mapping[str, int]) -> np.ndarray:
+        """Instance→AS assignment vector aligned with the matrix columns.
+
+        Instances without a known AS get ``-1``.
+        """
+        assignment = np.full(self.n_domains, -1, dtype=np.int64)
+        for domain, asn in asn_of_instance.items():
+            column = self.domain_index.get(domain)
+            if column is not None:
+                assignment[column] = int(asn)
+        return assignment

@@ -1,0 +1,220 @@
+"""The sweep API: many (strategy, failure, seed) combinations in one call.
+
+The expensive part of an availability experiment is the per-strategy
+incidence matrix; every failure schedule after that is a cheap batched
+reduction.  ``run_availability_sweep`` exploits exactly that: one
+:class:`~repro.engine.incidence.TootIncidence` per placement strategy,
+then one :func:`~repro.engine.kernels.kill_steps_batch` pass covering
+every failure model.  Seeds are just more strategies
+(:meth:`StrategySpec.random` embeds the seed in the spec), so a
+(strategy × ranking × seed) grid is a single call that returns every
+curve, ready for :mod:`repro.reporting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.core.replication import (
+    AvailabilityPoint,
+    PlacementMap,
+    no_replication,
+    random_replication,
+    subscription_replication,
+)
+from repro.engine.failures import FailureModel
+from repro.engine.incidence import TootIncidence
+from repro.engine.kernels import availability_curves_batch
+
+
+def _to_points(curve: np.ndarray) -> list[AvailabilityPoint]:
+    return [
+        AvailabilityPoint(removed=step, availability=float(value))
+        for step, value in enumerate(curve)
+    ]
+
+
+def availability_curve(
+    placements: PlacementMap | TootIncidence, failure: FailureModel
+) -> list[AvailabilityPoint]:
+    """One availability curve for one placement map and one failure model."""
+    return availability_curves(placements, [failure])[failure.name]
+
+
+def availability_curves(
+    placements: PlacementMap | TootIncidence, failures: Sequence[FailureModel]
+) -> dict[str, list[AvailabilityPoint]]:
+    """Curves for many failure models over one shared incidence matrix."""
+    if not failures:
+        raise AnalysisError("need at least one failure model")
+    names = [failure.name for failure in failures]
+    if len(set(names)) != len(names):
+        raise AnalysisError("failure models must have distinct names")
+    incidence = (
+        placements
+        if isinstance(placements, TootIncidence)
+        else TootIncidence.from_placements(placements)
+    )
+    steps = np.asarray([failure.effective_steps() for failure in failures], dtype=np.int64)
+    removal_matrix = np.column_stack(
+        [
+            incidence.removal_vector(failure.removal_index(), int(steps[j]))
+            for j, failure in enumerate(failures)
+        ]
+    )
+    curves = availability_curves_batch(incidence.matrix, removal_matrix, steps)
+    return {name: _to_points(curve) for name, curve in zip(names, curves)}
+
+
+# -- placement strategies as declarative specs -----------------------------------
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A named recipe for building a :class:`PlacementMap`."""
+
+    name: str
+    kind: str  # "none" | "subscription" | "random"
+    n_replicas: int = 0
+    seed: int = 0
+    weights: tuple[tuple[str, float], ...] | None = None
+
+    @classmethod
+    def none(cls, name: str = "no-rep") -> "StrategySpec":
+        return cls(name=name, kind="none")
+
+    @classmethod
+    def subscription(cls, name: str = "s-rep") -> "StrategySpec":
+        return cls(name=name, kind="subscription")
+
+    @classmethod
+    def random(
+        cls,
+        n_replicas: int,
+        seed: int = 0,
+        weights: Mapping[str, float] | None = None,
+        name: str | None = None,
+    ) -> "StrategySpec":
+        if name is None:
+            name = f"n={n_replicas}" if seed == 0 else f"n={n_replicas}/seed={seed}"
+        frozen_weights = tuple(sorted(weights.items())) if weights is not None else None
+        return cls(
+            name=name, kind="random", n_replicas=n_replicas, seed=seed, weights=frozen_weights
+        )
+
+    def build(
+        self,
+        toots: "TootsDataset",
+        graphs: "GraphDataset | None" = None,
+        candidate_domains: Sequence[str] | None = None,
+    ) -> PlacementMap:
+        if self.kind == "none":
+            return no_replication(toots)
+        if self.kind == "subscription":
+            if graphs is None:
+                raise AnalysisError("subscription replication needs the graphs dataset")
+            return subscription_replication(toots, graphs)
+        if self.kind == "random":
+            if candidate_domains is None:
+                raise AnalysisError("random replication needs candidate domains")
+            return random_replication(
+                toots,
+                candidate_domains,
+                self.n_replicas,
+                seed=self.seed,
+                weights=dict(self.weights) if self.weights is not None else None,
+            )
+        raise AnalysisError(f"unknown placement strategy kind: {self.kind!r}")
+
+
+def random_strategy_grid(
+    replica_counts: Sequence[int], seeds: Sequence[int] = (0,)
+) -> list[StrategySpec]:
+    """The (n_replicas × seed) grid as strategy specs."""
+    return [
+        StrategySpec.random(n_replicas=n, seed=seed)
+        for n in replica_counts
+        for seed in seeds
+    ]
+
+
+# -- the sweep itself ------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Every curve of a sweep, keyed by (strategy name, failure name)."""
+
+    curves: dict[tuple[str, str], list[AvailabilityPoint]]
+    strategy_names: tuple[str, ...]
+    failure_names: tuple[str, ...]
+    placements: dict[str, PlacementMap] = field(default_factory=dict)
+
+    def curve(self, strategy: str, failure: str) -> list[AvailabilityPoint]:
+        try:
+            return self.curves[(strategy, failure)]
+        except KeyError as exc:
+            raise AnalysisError(f"no curve for {strategy!r} under {failure!r}") from exc
+
+    def compare(self, failure: str, removed: int) -> dict[str, float]:
+        """Availability of every strategy after ``removed`` removals."""
+        from repro.core.replication import availability_at
+
+        return {
+            strategy: availability_at(self.curve(strategy, failure), removed)
+            for strategy in self.strategy_names
+        }
+
+    def availability_rows(
+        self, failure: str, removals: Sequence[int]
+    ) -> list[list[object]]:
+        """One row per strategy: ``[name, avail@removals[0], ...]`` (raw floats)."""
+        from repro.core.replication import availability_at
+
+        return [
+            [strategy]
+            + [availability_at(self.curve(strategy, failure), r) for r in removals]
+            for strategy in self.strategy_names
+        ]
+
+
+def run_availability_sweep(
+    toots: "TootsDataset",
+    strategies: Sequence[StrategySpec],
+    failures: Sequence[FailureModel],
+    *,
+    graphs: "GraphDataset | None" = None,
+    candidate_domains: Sequence[str] | None = None,
+    keep_placements: bool = False,
+) -> SweepResult:
+    """Evaluate every (strategy, failure) combination in one call.
+
+    Builds each strategy's placement map and incidence matrix once, then
+    batch-evaluates all failure schedules against it.  Random strategies
+    carry their own seeds, so a seed sweep is just more
+    :class:`StrategySpec` entries.
+    """
+    if not strategies:
+        raise AnalysisError("need at least one placement strategy")
+    names = [spec.name for spec in strategies]
+    if len(set(names)) != len(names):
+        raise AnalysisError("placement strategies must have distinct names")
+    curves: dict[tuple[str, str], list[AvailabilityPoint]] = {}
+    placements_by_name: dict[str, PlacementMap] = {}
+    for spec in strategies:
+        placements = spec.build(toots, graphs=graphs, candidate_domains=candidate_domains)
+        if keep_placements:
+            placements_by_name[spec.name] = placements
+        incidence = TootIncidence.from_placements(placements)
+        for failure_name, curve in availability_curves(incidence, failures).items():
+            curves[(spec.name, failure_name)] = curve
+    return SweepResult(
+        curves=curves,
+        strategy_names=tuple(names),
+        failure_names=tuple(failure.name for failure in failures),
+        placements=placements_by_name,
+    )

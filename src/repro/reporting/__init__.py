@@ -3,6 +3,7 @@
 from repro.reporting.tables import format_table, format_percentage
 from repro.reporting.figures import FigureSeries, cdf_series, curve_series
 from repro.reporting.experiments import EXPERIMENTS, Experiment, get_experiment
+from repro.reporting.sweeps import format_sweep_table
 
 __all__ = [
     "EXPERIMENTS",
@@ -11,6 +12,7 @@ __all__ = [
     "cdf_series",
     "curve_series",
     "format_percentage",
+    "format_sweep_table",
     "format_table",
     "get_experiment",
 ]

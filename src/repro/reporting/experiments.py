@@ -107,14 +107,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             "fig12",
             "Removing top user accounts",
             "Removing the top 1% of accounts collapses the LCC from ~100% to ~26% of users.",
-            ("repro.core.resilience",),
+            ("repro.core.resilience", "repro.engine.resilience"),
             "benchmarks/bench_fig12_user_removal.py",
         ),
         Experiment(
             "fig13",
             "Removing top instances and ASes from the federation graph",
             "Instance removal degrades GF linearly; removing 5 ASes halves the LCC.",
-            ("repro.core.resilience",),
+            ("repro.core.resilience", "repro.engine.resilience"),
             "benchmarks/bench_fig13_instance_as_removal.py",
         ),
         Experiment(
@@ -128,14 +128,14 @@ EXPERIMENTS: dict[str, Experiment] = {
             "fig15",
             "Toot availability without and with subscription replication",
             "Without replication, removing 10 instances erases ~63% of toots; replication helps.",
-            ("repro.core.replication",),
+            ("repro.core.replication", "repro.engine.sweep", "repro.engine.kernels"),
             "benchmarks/bench_fig15_replication.py",
         ),
         Experiment(
             "fig16",
             "Random replication",
             "Random replication outperforms subscription replication for the same budget.",
-            ("repro.core.replication",),
+            ("repro.core.replication", "repro.engine.sweep", "repro.engine.kernels"),
             "benchmarks/bench_fig16_random_replication.py",
         ),
         Experiment(

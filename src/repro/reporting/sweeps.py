@@ -1,0 +1,28 @@
+"""Rendering for engine sweep results (Figs. 15-16 style tables)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.reporting.tables import format_percentage, format_table
+
+
+def format_sweep_table(
+    result: "SweepResult",
+    failure: str,
+    removals: Sequence[int],
+    *,
+    strategy_header: str = "strategy",
+    removed_label: str = "removed",
+) -> str:
+    """One row per strategy, one availability column per removal count.
+
+    ``result`` is a :class:`repro.engine.sweep.SweepResult`; availabilities
+    are rendered as percentages, matching the paper's figures.
+    """
+    headers = [strategy_header] + [f"top {r} {removed_label}" for r in removals]
+    rows = [
+        [row[0]] + [format_percentage(value) for value in row[1:]]
+        for row in result.availability_rows(failure, removals)
+    ]
+    return format_table(headers, rows)

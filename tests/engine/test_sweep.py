@@ -1,0 +1,122 @@
+"""Tests for the sweep API: strategy grids, batched curves, reporting glue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import replication, resilience
+from repro.engine import (
+    ASRemoval,
+    InstanceRemoval,
+    StrategySpec,
+    random_strategy_grid,
+    run_availability_sweep,
+)
+from repro.errors import AnalysisError
+from repro.reporting import format_sweep_table
+
+from tests.engine.test_equivalence import random_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return random_scenario(5)
+
+
+@pytest.fixture(scope="module")
+def sweep(scenario):
+    toots, graphs, domains, asn_of = scenario
+    ranking = resilience.rank_instances(
+        graphs.federation_graph,
+        toots_per_instance=toots.toots_per_instance(),
+        by="toots",
+    )
+    as_ranking = resilience.rank_ases(asn_of, by="instances")
+    strategies = [
+        StrategySpec.none(),
+        StrategySpec.subscription(),
+        *random_strategy_grid([1, 3], seeds=[7]),
+    ]
+    failures = [
+        InstanceRemoval(ranking, steps=6, name="instances"),
+        ASRemoval(asn_of, as_ranking, steps=2, name="ases"),
+    ]
+    result = run_availability_sweep(
+        toots, strategies, failures, graphs=graphs, candidate_domains=domains
+    )
+    return result, ranking, as_ranking
+
+
+class TestSweep:
+    def test_grid_is_fully_populated(self, sweep):
+        result, _, _ = sweep
+        assert set(result.strategy_names) == {"no-rep", "s-rep", "n=1/seed=7", "n=3/seed=7"}
+        assert result.failure_names == ("instances", "ases")
+        for strategy in result.strategy_names:
+            for failure in result.failure_names:
+                assert result.curve(strategy, failure)[0].availability == 1.0
+
+    def test_sweep_curves_match_individual_calls(self, scenario, sweep):
+        toots, graphs, domains, asn_of = scenario
+        result, ranking, as_ranking = sweep
+        placements = replication.subscription_replication(toots, graphs)
+        assert result.curve("s-rep", "instances") == (
+            replication.availability_under_instance_removal(placements, ranking, steps=6)
+        )
+        random_placements = replication.random_replication(toots, domains, 1, seed=7)
+        assert result.curve("n=1/seed=7", "ases") == (
+            replication.availability_under_as_removal(
+                random_placements, asn_of, as_ranking, steps=2
+            )
+        )
+
+    def test_compare_orders_strategies(self, sweep):
+        result, ranking, _ = sweep
+        removed = min(6, len(ranking))
+        comparison = result.compare("instances", removed)
+        assert comparison["s-rep"] >= comparison["no-rep"]
+        assert comparison["n=3/seed=7"] >= comparison["n=1/seed=7"] - 0.05
+
+    def test_unknown_curve_rejected(self, sweep):
+        result, _, _ = sweep
+        with pytest.raises(AnalysisError):
+            result.curve("no-rep", "nonexistent")
+
+    def test_availability_rows_and_formatting(self, sweep):
+        result, _, _ = sweep
+        rows = result.availability_rows("instances", (0, 2))
+        assert [row[0] for row in rows] == list(result.strategy_names)
+        assert all(row[1] == 1.0 for row in rows)
+        table = format_sweep_table(result, "instances", (0, 2))
+        assert "strategy" in table and "top 2 removed" in table and "100.0%" in table
+
+    def test_seed_grid_names_are_distinct(self):
+        grid = random_strategy_grid([2], seeds=[0, 1])
+        assert {spec.name for spec in grid} == {"n=2", "n=2/seed=1"}
+
+    def test_validation(self, scenario):
+        toots, graphs, domains, _ = scenario
+        failure = InstanceRemoval(["x"], steps=1)
+        with pytest.raises(AnalysisError):
+            run_availability_sweep(toots, [], [failure])
+        with pytest.raises(AnalysisError):
+            run_availability_sweep(
+                toots, [StrategySpec.none(), StrategySpec.none()], [failure]
+            )
+        with pytest.raises(AnalysisError):
+            run_availability_sweep(toots, [StrategySpec.subscription()], [failure])
+        with pytest.raises(AnalysisError):
+            run_availability_sweep(
+                toots, [StrategySpec.random(1)], [failure]
+            )  # no candidate domains
+
+    def test_keep_placements_exposes_maps(self, scenario):
+        toots, graphs, domains, _ = scenario
+        result = run_availability_sweep(
+            toots,
+            [StrategySpec.none()],
+            [InstanceRemoval(domains, steps=2)],
+            keep_placements=True,
+        )
+        assert "no-rep" in result.placements
+        assert len(result.placements["no-rep"]) == len(toots)
