@@ -6,7 +6,9 @@ CSR incidence matrix and answers every schedule with batched numpy
 reductions.  This benchmark runs an 8-schedule sweep (instance and AS
 removal schedules under several rankings) over 100,000 synthetic toots
 and asserts the engine is at least 10× faster end-to-end — including the
-one-off matrix build.
+one-off matrix build.  The companion gate for placement *construction*
+(the vectorised builders vs the per-toot ``rng.choice`` loop) lives in
+``benchmarks/bench_placement_scale.py``.
 
 Run standalone::
 

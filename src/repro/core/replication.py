@@ -13,14 +13,22 @@ A toot is considered available as long as at least one instance holding a
 copy is still up (the paper assumes a global index such as a DHT to find
 replicas).
 
-Availability curves are computed by the sparse-matrix failure-simulation
-engine (:mod:`repro.engine`): the placement map becomes a toot×instance
-CSR incidence matrix and each removal schedule is one batched reduction.
-The pure-Python loop is kept as :func:`_availability_curve_python` — the
-reference implementation the differential suite checks the engine
-against.  For parameter sweeps (many strategies × rankings × seeds) use
-:func:`repro.engine.run_availability_sweep`, which reuses one incidence
-matrix per strategy across every failure schedule.
+Placement construction and availability curves are both computed by the
+sparse-matrix failure-simulation engine: the vectorised builders in
+:mod:`repro.engine.placement` produce an integer-coded
+:class:`~repro.engine.placement.PlacementArrays` backend (one batched
+draw for every toot instead of one ``rng.choice`` per toot), the
+placement map becomes a toot×instance CSR incidence matrix — memoised
+per map, see :meth:`repro.engine.incidence.TootIncidence.from_placements`
+— and each removal schedule is one batched reduction.  The pure-Python
+loops are kept as the ``_*_python`` reference implementations the
+differential suite checks the engine against.  Note the batched draw
+consumes the RNG stream in a different order, so seeded *random*
+placements legitimately differ from :func:`_random_replication_python`
+toot-by-toot while staying deterministic per seed and distributionally
+equivalent.  For parameter sweeps (many strategies × rankings × seeds)
+use :func:`repro.engine.run_availability_sweep`, which reuses one
+incidence matrix per strategy across every failure schedule.
 """
 
 from __future__ import annotations
@@ -35,19 +43,65 @@ from repro.datasets.graphs import GraphDataset
 from repro.datasets.toots import TootsDataset
 
 
-@dataclass
 class PlacementMap:
-    """For every toot (by URL), the set of instances holding a copy."""
+    """For every toot (by URL), the set of instances holding a copy.
 
-    strategy: str
-    placements: dict[str, frozenset[str]]
+    Two interchangeable backends: the legacy dict-of-frozensets
+    (``placements``) and the engine's integer-coded
+    :class:`~repro.engine.placement.PlacementArrays` (``arrays``).  The
+    vectorised builders hand over only the arrays; the dict view is
+    materialised lazily on first access, so the fast paths (incidence
+    construction, replica statistics) never pay for it.
+
+    Maps hash by object identity — the engine memoises one incidence
+    matrix per map — so treat a map as immutable once built.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        placements: Mapping[str, frozenset[str]] | None = None,
+        *,
+        arrays: "PlacementArrays | None" = None,
+    ) -> None:
+        if placements is None and arrays is None:
+            raise AnalysisError(
+                "a placement map needs a placements dict or an arrays backend"
+            )
+        self.strategy = strategy
+        self.arrays = arrays
+        self._placements = dict(placements) if placements is not None else None
+
+    @property
+    def placements(self) -> dict[str, frozenset[str]]:
+        """The dict-of-frozensets view (materialised lazily from arrays)."""
+        if self._placements is None:
+            self._placements = self.arrays.to_placement_dict()
+        return self._placements
+
+    def __repr__(self) -> str:
+        backend = "dict" if self.arrays is None else "arrays"
+        return (
+            f"PlacementMap(strategy={self.strategy!r}, toots={len(self)}, "
+            f"backend={backend})"
+        )
 
     def __len__(self) -> int:
-        return len(self.placements)
+        if self._placements is not None:
+            return len(self._placements)
+        return self.arrays.n_toots
 
     def replica_counts(self) -> list[int]:
         """Number of copies *beyond the home instance* for every toot."""
-        return [max(0, len(holders) - 1) for holders in self.placements.values()]
+        return self._replica_count_array().tolist()
+
+    def _replica_count_array(self) -> np.ndarray:
+        if self.arrays is not None:
+            return self.arrays.replica_counts()
+        return np.asarray(
+            [max(0, len(holders) - 1) for holders in self.placements.values()],
+            dtype=np.int64,
+        )
 
     def replication_summary(self) -> dict[str, float]:
         """Share of toots with no replica and with more than ten replicas.
@@ -55,26 +109,79 @@ class PlacementMap:
         The paper reports that under subscription replication 9.7% of
         toots have no replica while 23% have more than ten.
         """
-        counts = self.replica_counts()
-        if not counts:
+        counts = self._replica_count_array()
+        if counts.size == 0:
             raise AnalysisError("the placement map is empty")
         return {
             "mean_replicas": float(np.mean(counts)),
-            "share_without_replica": sum(1 for c in counts if c == 0) / len(counts),
-            "share_with_more_than_10": sum(1 for c in counts if c > 10) / len(counts),
+            "share_without_replica": int((counts == 0).sum()) / counts.size,
+            "share_with_more_than_10": int((counts > 10).sum()) / counts.size,
         }
 
 
 def no_replication(toots: TootsDataset) -> PlacementMap:
     """Each toot is stored only on its author's home instance."""
+    from repro.engine.placement import build_no_replication
+
+    arrays = build_no_replication(toots)
+    return PlacementMap(strategy=arrays.strategy, arrays=arrays)
+
+
+def subscription_replication(toots: TootsDataset, graphs: GraphDataset) -> PlacementMap:
+    """Each toot is replicated to the instances hosting the author's followers.
+
+    Dispatches to the vectorised builder (one pass over the follower
+    graph, array expansion per toot); the original per-record loop is
+    retained as :func:`_subscription_replication_python` and the
+    differential suite holds the two to identical placements.
+    """
+    from repro.engine.placement import build_subscription_replication
+
+    arrays = build_subscription_replication(toots, graphs)
+    return PlacementMap(strategy=arrays.strategy, arrays=arrays)
+
+
+def random_replication(
+    toots: TootsDataset,
+    candidate_domains: Sequence[str],
+    n_replicas: int,
+    seed: int = 0,
+    weights: Mapping[str, float] | None = None,
+) -> PlacementMap:
+    """Each toot is replicated onto ``n_replicas`` random instances.
+
+    ``weights`` optionally biases the replica placement (e.g. towards
+    instances with more storage capacity) — the resource-weighted variant
+    discussed at the end of Section 5.2.  Placement is one batched draw
+    for all toots (Gumbel top-k for the weighted case); see
+    :func:`repro.engine.placement.build_random_replication`.  Seeded
+    output is deterministic but differs from the retained
+    :func:`_random_replication_python` loop, which consumes the RNG
+    stream one toot at a time.
+    """
+    from repro.engine.placement import build_random_replication
+
+    arrays = build_random_replication(
+        toots, candidate_domains, n_replicas, seed=seed, weights=weights
+    )
+    return PlacementMap(strategy=arrays.strategy, arrays=arrays)
+
+
+# -- retained pure-Python reference implementations ------------------------------
+
+
+def _no_replication_python(toots: TootsDataset) -> PlacementMap:
+    """The original dict comprehension — reference for the differential suite."""
     placements = {
         record.url: frozenset({record.author_domain}) for record in toots.records()
     }
     return PlacementMap(strategy="no-replication", placements=placements)
 
 
-def subscription_replication(toots: TootsDataset, graphs: GraphDataset) -> PlacementMap:
-    """Each toot is replicated to the instances hosting the author's followers."""
+def _subscription_replication_python(
+    toots: TootsDataset, graphs: GraphDataset
+) -> PlacementMap:
+    """The original per-record loop — reference for the differential suite."""
     follower_domains: dict[str, frozenset[str]] = {}
     follower_graph = graphs.follower_graph
     placements: dict[str, frozenset[str]] = {}
@@ -92,18 +199,17 @@ def subscription_replication(toots: TootsDataset, graphs: GraphDataset) -> Place
     return PlacementMap(strategy="subscription-replication", placements=placements)
 
 
-def random_replication(
+def _random_replication_python(
     toots: TootsDataset,
     candidate_domains: Sequence[str],
     n_replicas: int,
     seed: int = 0,
     weights: Mapping[str, float] | None = None,
 ) -> PlacementMap:
-    """Each toot is replicated onto ``n_replicas`` random instances.
+    """The original one-``rng.choice``-per-toot loop — reference implementation.
 
-    ``weights`` optionally biases the replica placement (e.g. towards
-    instances with more storage capacity) — the resource-weighted variant
-    discussed at the end of Section 5.2.
+    The statistical half of the differential suite holds the batched
+    builder to the same replica-count distribution as this loop.
     """
     if n_replicas < 0:
         raise AnalysisError("the number of replicas cannot be negative")
@@ -111,15 +217,16 @@ def random_replication(
     if not candidates:
         raise AnalysisError("no candidate instances to replicate onto")
     rng = np.random.default_rng(seed)
+    k = min(n_replicas, len(candidates))
     probabilities: np.ndarray | None = None
     if weights is not None:
-        raw = np.asarray([max(0.0, float(weights.get(d, 0.0))) for d in candidates], dtype=float)
-        if raw.sum() <= 0:
-            raise AnalysisError("replication weights must contain positive mass")
-        probabilities = raw / raw.sum()
+        from repro.engine.placement import _normalised_log_weights
+
+        # shares the vectorised path's validation (positive mass, enough
+        # positive-weight candidates for k distinct picks)
+        probabilities = np.exp(_normalised_log_weights(candidates, weights, k))
 
     placements: dict[str, frozenset[str]] = {}
-    k = min(n_replicas, len(candidates))
     for record in toots.records():
         if k == 0:
             placements[record.url] = frozenset({record.author_domain})
@@ -227,12 +334,22 @@ def availability_under_as_removal(
 
 def availability_at(curve: Iterable[AvailabilityPoint], removed: int) -> float:
     """Availability after exactly ``removed`` removals (convenience accessor)."""
+    if removed < 0:
+        raise AnalysisError(
+            f"the number of removed entities cannot be negative (got {removed})"
+        )
     best = None
+    empty = True
     for point in curve:
+        empty = False
         if point.removed <= removed:
             best = point
     if best is None:
-        raise AnalysisError("the availability curve is empty")
+        if empty:
+            raise AnalysisError("the availability curve is empty")
+        raise AnalysisError(
+            f"the availability curve has no point at or before removed={removed}"
+        )
     return best.availability
 
 

@@ -3,9 +3,14 @@
 The engine is the vectorised substrate under :mod:`repro.core.replication`
 and :mod:`repro.core.resilience`.  It models the expensive objects once —
 
+* :class:`PlacementArrays` — integer-coded placements (per-toot home
+  codes plus replica CSR arrays) produced by the vectorised builders in
+  :mod:`repro.engine.placement`: batched random draws (Gumbel top-k for
+  the weighted case) and a one-pass subscription builder;
 * :class:`TootIncidence` — a toot×instance CSR incidence matrix built
   from a :class:`~repro.core.replication.PlacementMap` (plus an
-  instance→AS assignment vector);
+  instance→AS assignment vector), assembled directly from the arrays
+  backend and memoised per placement map;
 * :class:`GraphMatrix` — a binary CSR adjacency matrix with the node
   ordering of the source :mod:`networkx` graph —
 
@@ -23,6 +28,12 @@ models subclass :class:`FailureModel` — see :mod:`repro.engine.failures`.
 
 from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
 from repro.engine.incidence import NEVER_REMOVED, TootIncidence
+from repro.engine.placement import (
+    PlacementArrays,
+    build_no_replication,
+    build_random_replication,
+    build_subscription_replication,
+)
 from repro.engine.kernels import (
     availability_curve_array,
     availability_curves_batch,
@@ -52,6 +63,7 @@ __all__ = [
     "GraphMatrix",
     "InstanceRemoval",
     "NEVER_REMOVED",
+    "PlacementArrays",
     "StrategySpec",
     "SweepResult",
     "TootIncidence",
@@ -61,6 +73,9 @@ __all__ = [
     "availability_curves",
     "availability_curves_batch",
     "availability_from_losses",
+    "build_no_replication",
+    "build_random_replication",
+    "build_subscription_replication",
     "kill_steps",
     "kill_steps_batch",
     "losses_per_step",

@@ -6,10 +6,22 @@ holds a copy of toot ``t``.  It is built **once** from a
 :class:`~repro.core.replication.PlacementMap` and then reduced many times
 by the batch kernels in :mod:`repro.engine.kernels` — one availability
 curve per removal schedule, with no per-toot Python loop.
+
+Construction has two paths: :meth:`TootIncidence.from_arrays` assembles
+the CSR structure directly from the integer-coded
+:class:`~repro.engine.placement.PlacementArrays` backend (no
+dict-of-frozensets round trip), and the legacy mapping path handles
+dict-built placement maps.  :meth:`TootIncidence.from_placements` picks
+the right one and **memoises the result per placement object** (a weak
+cache, so the matrix lives exactly as long as its map): repeated
+experiments on the same :class:`PlacementMap` rebuild nothing.  The
+cache keys on object identity — treat a placement map as immutable once
+it has been handed to the engine.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from itertools import chain
 from typing import Mapping
@@ -21,6 +33,10 @@ from repro.errors import AnalysisError
 
 #: Sentinel removal step for domains that never fail within a schedule.
 NEVER_REMOVED = np.inf
+
+#: Per-placement-object memo: placement map -> built incidence matrix.
+#: Weak keys mean dropping the map also drops the cached matrix.
+_INCIDENCE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 @dataclass
@@ -42,13 +58,75 @@ class TootIncidence:
 
     @classmethod
     def from_placements(cls, placements: "PlacementMap") -> "TootIncidence":
-        """Build the incidence matrix from a placement map.
+        """Build (or fetch the memoised) incidence matrix for a placement map.
 
-        Rows follow the placement map's insertion order; columns are the
+        Arrays-backed maps (the vectorised builders in
+        :mod:`repro.engine.placement`) go through :meth:`from_arrays`;
+        dict-built maps take the legacy mapping path.  Either way the
+        result is cached per placement *object*, so repeated curves over
+        the same map pay for the matrix exactly once.
+        """
+        try:
+            cached = _INCIDENCE_CACHE.get(placements)
+        except TypeError:  # unhashable / non-weakrefable placement container
+            cached = None
+        if cached is not None:
+            return cached
+        arrays = getattr(placements, "arrays", None)
+        if arrays is not None:
+            incidence = cls.from_arrays(arrays)
+        else:
+            incidence = cls._from_mapping(placements.placements)
+        try:
+            _INCIDENCE_CACHE[placements] = incidence
+        except TypeError:
+            pass
+        return incidence
+
+    @classmethod
+    def from_arrays(cls, arrays: "PlacementArrays") -> "TootIncidence":
+        """Assemble the CSR structure straight from integer-coded placements.
+
+        Every row interleaves the home code with the replica codes of the
+        backend's CSR arrays — no per-toot Python loop and no intermediate
+        dict of frozensets.  Columns are the backend's (sorted) domain
+        universe; domains that end up holding no toot simply have empty
+        columns, which the kernels ignore.
+        """
+        n_toots = arrays.n_toots
+        if n_toots == 0:
+            raise AnalysisError("the placement map is empty")
+        lengths = np.diff(arrays.replica_indptr) + 1  # +1 for the home copy
+        indptr = np.zeros(n_toots + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        home_slots = indptr[:-1]
+        indices[home_slots] = arrays.home
+        replica_slots = np.ones(total, dtype=bool)
+        replica_slots[home_slots] = False
+        indices[replica_slots] = arrays.replica_indices
+        data = np.ones(total, dtype=np.int8)
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr), shape=(n_toots, arrays.n_domains)
+        )
+        matrix.sort_indices()
+        domains = tuple(arrays.domains)
+        return cls(
+            matrix=matrix,
+            toot_urls=tuple(arrays.toot_urls),
+            domains=domains,
+            domain_index={domain: j for j, domain in enumerate(domains)},
+        )
+
+    @classmethod
+    def _from_mapping(cls, mapping: Mapping[str, frozenset[str]]) -> "TootIncidence":
+        """The legacy dict-of-frozensets construction path.
+
+        Rows follow the mapping's insertion order; columns are the
         sorted union of all holding domains, so the layout is
         deterministic for a given map.
         """
-        mapping = placements.placements
         if not mapping:
             raise AnalysisError("the placement map is empty")
         domains = tuple(sorted(set(chain.from_iterable(mapping.values()))))

@@ -1,0 +1,473 @@
+"""Vectorised placement builders: integer-coded placements for the engine.
+
+The Figs. 15-16 experiments build a placement map per strategy before any
+failure is simulated; with the availability kernels batched (PR 1), that
+construction was the remaining per-toot Python loop in the pipeline.
+This module replaces it with whole-array operations:
+
+* :class:`PlacementArrays` — the integer-coded placement backend: one
+  home-domain code per toot plus a CSR-style ``(replica_indices,
+  replica_indptr)`` pair of replica codes.  The engine's
+  :class:`~repro.engine.incidence.TootIncidence` consumes it directly,
+  with no dict-of-frozensets round trip;
+* :func:`build_no_replication` — the home array, nothing else;
+* :func:`build_subscription_replication` — one pass over the follower
+  graph to precompute the author→follower-domain table, then pure array
+  expansion per toot;
+* :func:`build_random_replication` — one batched draw for every toot,
+  built on Gumbel top-k sampling: perturbing the log-weights with i.i.d.
+  Gumbel noise and keeping the k largest keys per row samples without
+  replacement with probabilities proportional to the weights — exactly
+  the distribution of successive renormalised draws (Plackett-Luce),
+  which is also what ``rng.choice(..., replace=False, p=...)``
+  implements one toot at a time.  The hot path materialises that draw
+  *lazily*: the descending order of Gumbel-perturbed keys is the arrival
+  order of an i.i.d. categorical race, so drawing a few weighted rounds
+  per row and keeping the first k distinct candidates yields the
+  Gumbel top-k set with an ``n×O(k)`` footprint instead of ``n×m``;
+  rows that do not resolve within the oversampled rounds fall back to
+  the dense ``n_bad×m`` Gumbel key matrix (uniform keys in the
+  unweighted case), which is exact for any weight skew.
+
+Invariants every builder guarantees (and :meth:`PlacementArrays.validate`
+checks): replica codes are distinct within a row and never equal the
+row's home code, so ``holders(t) = {home[t]} ∪ replicas[t]`` has
+``1 + replica_count`` members and the incidence matrix stays binary.
+
+The pure-Python reference loops live on in
+:mod:`repro.core.replication` as ``_*_python`` functions; the
+differential suite (``tests/engine/test_placement.py``) holds these
+builders to exact equality where the strategy is deterministic and to
+equivalent replica-count distributions for the random draws.  Note the
+batched draw consumes the RNG stream in a different order than the
+legacy one-``rng.choice``-per-toot loop, so seeded *random* placements
+legitimately differ from the legacy loop toot-by-toot while remaining
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Row-chunk sizing for the batched draws: keep the per-chunk key matrix
+#: around ~32 MB of float64 so 67M-toot runs stay memory-bounded.  The
+#: chunk size is a pure function of the candidate count, never of the
+#: machine, so a seed always yields the same placements.
+_CHUNK_ELEMENTS = 4_000_000
+
+
+@dataclass(eq=False)
+class PlacementArrays:
+    """Integer-coded placements: per-toot home codes plus replica CSR arrays.
+
+    ``domains`` is the sorted domain universe (homes plus every possible
+    replica target); ``home[t]`` indexes into it, and
+    ``replica_indices[replica_indptr[t]:replica_indptr[t + 1]]`` are the
+    codes of toot ``t``'s replicas beyond its home instance.
+    """
+
+    strategy: str
+    toot_urls: tuple[str, ...]
+    domains: tuple[str, ...]
+    home: np.ndarray
+    replica_indices: np.ndarray
+    replica_indptr: np.ndarray
+
+    @property
+    def n_toots(self) -> int:
+        return len(self.toot_urls)
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    def replica_counts(self) -> np.ndarray:
+        """Replicas beyond the home instance, per toot (home never counted)."""
+        return np.diff(self.replica_indptr)
+
+    def domain_replica_load(self) -> np.ndarray:
+        """How many replicas landed on each domain (aligned with ``domains``)."""
+        return np.bincount(self.replica_indices, minlength=self.n_domains)
+
+    def to_placement_dict(self) -> dict[str, frozenset[str]]:
+        """The legacy dict-of-frozensets view (compatibility path only).
+
+        This is the one remaining per-toot loop and exists solely so code
+        that still wants ``PlacementMap.placements`` keeps working; the
+        engine itself never calls it.
+        """
+        domains = self.domains
+        indices = self.replica_indices
+        indptr = self.replica_indptr
+        out: dict[str, frozenset[str]] = {}
+        for t, url in enumerate(self.toot_urls):
+            holders = {domains[self.home[t]]}
+            holders.update(domains[j] for j in indices[indptr[t] : indptr[t + 1]])
+            out[url] = frozenset(holders)
+        return out
+
+    def validate(self) -> "PlacementArrays":
+        """Check the structural invariants; returns self for chaining."""
+        n = self.n_toots
+        if self.home.shape != (n,) or self.replica_indptr.shape != (n + 1,):
+            raise AnalysisError("placement arrays have inconsistent shapes")
+        if n and (self.home.min() < 0 or self.home.max() >= self.n_domains):
+            raise AnalysisError("home codes fall outside the domain universe")
+        if self.replica_indices.size and (
+            self.replica_indices.min() < 0
+            or self.replica_indices.max() >= self.n_domains
+        ):
+            raise AnalysisError("replica codes fall outside the domain universe")
+        lengths = np.diff(self.replica_indptr)
+        if lengths.size and lengths.min() < 0:
+            raise AnalysisError("replica index pointers must be non-decreasing")
+        if int(self.replica_indptr[-1]) != self.replica_indices.size:
+            raise AnalysisError("replica index pointers do not cover the indices")
+        row_ids = np.repeat(np.arange(n), lengths)
+        if np.any(self.replica_indices == self.home[row_ids]):
+            raise AnalysisError("replicas must not duplicate the home instance")
+        if self.replica_indices.size:
+            # distinct within a row: sort per row, adjacent equal values in
+            # the same row are duplicates
+            order = np.lexsort((self.replica_indices, row_ids))
+            sorted_indices = self.replica_indices[order]
+            sorted_rows = row_ids[order]
+            duplicate = (sorted_rows[1:] == sorted_rows[:-1]) & (
+                sorted_indices[1:] == sorted_indices[:-1]
+            )
+            if duplicate.any():
+                raise AnalysisError("replica codes must be distinct within a row")
+        return self
+
+
+# -- shared encoding helpers -----------------------------------------------------
+
+
+def _encode(values: Sequence[str], code: Mapping[str, int]) -> np.ndarray:
+    return np.fromiter(
+        map(code.__getitem__, values), dtype=np.int64, count=len(values)
+    )
+
+
+def _toot_columns(toots: "TootsDataset") -> tuple[tuple[str, ...], list[str], list[str]]:
+    """One pass over the records: urls, author handles, home domains."""
+    records = toots.records()
+    urls = tuple(record.url for record in records)
+    accounts = [record.account for record in records]
+    homes = [record.author_domain for record in records]
+    return urls, accounts, homes
+
+
+# -- builders --------------------------------------------------------------------
+
+
+def build_no_replication(toots: "TootsDataset") -> PlacementArrays:
+    """Each toot lives only on its author's home instance."""
+    urls, _, homes = _toot_columns(toots)
+    domains = tuple(sorted(set(homes)))
+    code = {domain: j for j, domain in enumerate(domains)}
+    return PlacementArrays(
+        strategy="no-replication",
+        toot_urls=urls,
+        domains=domains,
+        home=_encode(homes, code),
+        replica_indices=np.empty(0, dtype=np.int64),
+        replica_indptr=np.zeros(len(urls) + 1, dtype=np.int64),
+    )
+
+
+def build_subscription_replication(
+    toots: "TootsDataset", graphs: "GraphDataset"
+) -> PlacementArrays:
+    """Each toot is replicated to the instances hosting the author's followers.
+
+    The author→follower-domain table is built in **one pass over the
+    follower graph's edges** (the legacy loop re-walked ``in_edges`` per
+    author); everything per-toot after that is array expansion.
+    """
+    urls, accounts, homes = _toot_columns(toots)
+    follower_graph = graphs.follower_graph
+    follower_domains: dict[str, set[str]] = {account: set() for account in accounts}
+    nodes = follower_graph.nodes
+    for follower, followed in follower_graph.edges():
+        target = follower_domains.get(followed)
+        if target is not None:
+            domain = nodes[follower].get("domain")
+            if domain:
+                target.add(domain)
+
+    domains = tuple(sorted(set(homes).union(*follower_domains.values())))
+    code = {domain: j for j, domain in enumerate(domains)}
+
+    # per-author replica arrays (CSR over the unique authors)
+    authors = list(follower_domains)
+    author_code = {author: i for i, author in enumerate(authors)}
+    author_counts = np.fromiter(
+        (len(follower_domains[author]) for author in authors),
+        dtype=np.int64,
+        count=len(authors),
+    )
+    author_indptr = np.zeros(len(authors) + 1, dtype=np.int64)
+    np.cumsum(author_counts, out=author_indptr[1:])
+    author_flat = np.fromiter(
+        (
+            code[domain]
+            for author in authors
+            for domain in sorted(follower_domains[author])
+        ),
+        dtype=np.int64,
+        count=int(author_indptr[-1]),
+    )
+
+    # expand the per-author table to per-toot rows with pure array ops
+    n = len(urls)
+    toot_author = _encode(accounts, author_code)
+    home = _encode(homes, code)
+    lengths = author_counts[toot_author]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    total = int(indptr[-1])
+    starts = np.repeat(author_indptr[:-1][toot_author], lengths)
+    within = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], lengths)
+    flat = author_flat[starts + within]
+    # drop follower domains equal to the toot's home (the legacy frozenset
+    # union collapsed them); bincount keeps empty rows safe
+    row_ids = np.repeat(np.arange(n), lengths)
+    keep = flat != home[row_ids]
+    kept_lengths = lengths - np.bincount(row_ids[~keep], minlength=n)
+    replica_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(kept_lengths, out=replica_indptr[1:])
+    return PlacementArrays(
+        strategy="subscription-replication",
+        toot_urls=urls,
+        domains=domains,
+        home=home,
+        replica_indices=flat[keep],
+        replica_indptr=replica_indptr,
+    )
+
+
+def _normalised_log_weights(
+    candidates: Sequence[str], weights: Mapping[str, float], k: int
+) -> np.ndarray:
+    """Validate ``weights`` over ``candidates`` and return log-probabilities.
+
+    Negative weights are clamped to zero (they mean "never place here",
+    same as the legacy loop); zero-weight candidates get ``-inf`` so the
+    Gumbel keys can never select them.  Raises :class:`AnalysisError`
+    when the total mass is zero or fewer than ``k`` candidates carry
+    positive weight — the latter is the case where the legacy loop
+    crashed with a raw ``ValueError`` from :meth:`rng.choice`.
+    """
+    raw = np.asarray(
+        [max(0.0, float(weights.get(domain, 0.0))) for domain in candidates],
+        dtype=np.float64,
+    )
+    if raw.sum() <= 0:
+        raise AnalysisError("replication weights must contain positive mass")
+    support = int(np.count_nonzero(raw))
+    if support < k:
+        raise AnalysisError(
+            f"cannot place {k} replicas without replacement: only {support} of "
+            f"{len(candidates)} candidate instances have positive weight"
+        )
+    with np.errstate(divide="ignore"):
+        return np.log(raw / raw.sum())
+
+
+def _dense_gumbel_top_k(
+    rng: np.random.Generator,
+    row_ids: np.ndarray,
+    out: np.ndarray,
+    m: int,
+    k: int,
+    log_weights: np.ndarray | None,
+    partial_rows: np.ndarray | None = None,
+    partial_picks: np.ndarray | None = None,
+) -> None:
+    """Exact Gumbel top-k for the given rows, written into ``out``.
+
+    One dense key row per toot: i.i.d. uniform keys in the unweighted
+    case, ``log w + Gumbel`` otherwise; the k largest keys are a sample
+    without replacement proportional to the weights.  Chunked so the key
+    matrix stays bounded.
+
+    ``partial_rows``/``partial_picks`` (global row id repeated per pick,
+    aligned pick codes) force already-found distinct picks of a
+    truncated race into the top-k via ``+inf`` keys, so the remaining
+    slots are filled by a fresh race over the other candidates — the
+    exact conditional continuation.  ``row_ids`` must be sorted when
+    they are given.
+    """
+    chunk_rows = max(1, _CHUNK_ELEMENTS // m)
+    batch_rows = None
+    if partial_rows is not None and partial_rows.size:
+        # global row id -> position in this batch (row_ids is sorted)
+        batch_rows = np.searchsorted(row_ids, partial_rows)
+    for start in range(0, row_ids.size, chunk_rows):
+        stop = min(start + chunk_rows, row_ids.size)
+        rows = row_ids[start:stop]
+        if log_weights is None:
+            keys = rng.random((rows.size, m))
+        else:
+            keys = log_weights + rng.gumbel(size=(rows.size, m))
+        if batch_rows is not None:
+            in_chunk = (batch_rows >= start) & (batch_rows < stop)
+            keys[batch_rows[in_chunk] - start, partial_picks[in_chunk]] = np.inf
+        out[rows] = np.argpartition(keys, m - k, axis=1)[:, m - k :]
+
+
+def _batch_distinct_draws(
+    rng: np.random.Generator,
+    n: int,
+    m: int,
+    k: int,
+    log_weights: np.ndarray | None,
+) -> np.ndarray:
+    """``(n, k)`` distinct candidate indices per row, one batched pass.
+
+    The lazy Gumbel top-k race: draw ``k + 5`` i.i.d. categorical
+    rounds per row and keep the first k distinct candidates — the
+    arrival order of an i.i.d. race is exactly the descending order of
+    Gumbel-perturbed keys, so resolved rows already hold the Gumbel
+    top-k sample.  Rows that fail to resolve (likelier under heavy
+    weight skew) are *continued*, not redrawn: their partial distinct
+    picks are kept and forced into a dense Gumbel top-k over the
+    remaining candidates.  By memorylessness of the race, the
+    continuation conditioned on any prefix is a fresh race on the
+    not-yet-drawn candidates, so the combined draw is exact for any
+    skew.  (A fresh redraw of stragglers would *not* be: keeping only
+    rows that resolved within the truncated race conditions them on
+    fast resolution and under-represents collision-prone heavy
+    candidates.)
+    """
+    out = np.empty((n, k), dtype=np.int64)
+    rounds = k + 5
+    if 2 * rounds >= m:
+        # the race would cost as much as the dense keys — go dense directly
+        _dense_gumbel_top_k(rng, np.arange(n), out, m, k, log_weights)
+        return out
+    cumulative = None
+    if log_weights is not None:
+        cumulative = np.cumsum(np.exp(log_weights))
+        # pin the tail to exactly 1.0 *from the last positive-weight
+        # candidate on*, so cumsum float error can neither lose the final
+        # mass nor hand it to a zero-weight candidate
+        last_positive = int(np.nonzero(np.isfinite(log_weights))[0][-1])
+        cumulative[last_positive:] = 1.0
+    unresolved_rows: list[np.ndarray] = []
+    partial_rows: list[np.ndarray] = []  # row id repeated per found pick
+    partial_picks: list[np.ndarray] = []
+    chunk_rows = max(1, _CHUNK_ELEMENTS // rounds)
+    for start in range(0, n, chunk_rows):
+        rows = min(chunk_rows, n - start)
+        if cumulative is None:
+            draws = rng.integers(0, m, size=(rows, rounds))
+        else:
+            draws = cumulative.searchsorted(rng.random((rows, rounds)), side="right")
+        repeat = np.zeros((rows, rounds), dtype=bool)
+        for j in range(1, rounds):
+            repeat[:, j] = (draws[:, :j] == draws[:, j : j + 1]).any(axis=1)
+        rank = np.cumsum(~repeat, axis=1)
+        resolved = rank[:, -1] >= k
+        first_k = (~repeat) & (rank <= k)
+        out[start : start + rows][resolved] = draws[resolved][
+            first_k[resolved]
+        ].reshape(-1, k)
+        bad = ~resolved
+        if bad.any():
+            bad_ids = np.nonzero(bad)[0] + start
+            unresolved_rows.append(bad_ids)
+            found = ~repeat[bad]  # every non-repeat pick of an unresolved row
+            partial_rows.append(np.repeat(bad_ids, found.sum(axis=1)))
+            partial_picks.append(draws[bad][found])
+    stragglers = (
+        np.concatenate(unresolved_rows) if unresolved_rows else np.empty(0, np.int64)
+    )
+    if stragglers.size:
+        _dense_gumbel_top_k(
+            rng,
+            stragglers,
+            out,
+            m,
+            k,
+            log_weights,
+            partial_rows=np.concatenate(partial_rows),
+            partial_picks=np.concatenate(partial_picks),
+        )
+    return out
+
+
+def build_random_replication(
+    toots: "TootsDataset",
+    candidate_domains: Sequence[str],
+    n_replicas: int,
+    seed: int = 0,
+    weights: Mapping[str, float] | None = None,
+) -> PlacementArrays:
+    """Each toot is replicated onto ``n_replicas`` random instances.
+
+    All toots are drawn in one batched pass (chunked to bound memory)
+    via Gumbel top-k sampling — see :func:`_batch_distinct_draws` for
+    the lazy race formulation and :func:`_dense_gumbel_top_k` for the
+    dense keys.  The draw is deterministic per seed but consumes the RNG
+    stream in a different order than the legacy per-toot loop, so seeded
+    placements differ toot-by-toot while following the same
+    distribution.
+    """
+    if n_replicas < 0:
+        raise AnalysisError("the number of replicas cannot be negative")
+    candidates = sorted(set(candidate_domains))
+    if not candidates:
+        raise AnalysisError("no candidate instances to replicate onto")
+    urls, _, homes = _toot_columns(toots)
+    n, m = len(urls), len(candidates)
+    k = min(n_replicas, m)
+
+    log_weights: np.ndarray | None = None
+    if weights is not None:
+        log_weights = _normalised_log_weights(candidates, weights, k)
+
+    domains = tuple(sorted(set(homes).union(candidates)))
+    code = {domain: j for j, domain in enumerate(domains)}
+    home = _encode(homes, code)
+    label = f"random-replication-n{n_replicas}"
+    if weights is not None:
+        label += "-weighted"
+
+    if k == 0:
+        return PlacementArrays(
+            strategy=label,
+            toot_urls=urls,
+            domains=domains,
+            home=home,
+            replica_indices=np.empty(0, dtype=np.int64),
+            replica_indptr=np.zeros(n + 1, dtype=np.int64),
+        )
+
+    candidate_codes = _encode(candidates, code)
+    if k == m:
+        # every candidate is picked for every toot; no draw needed
+        picks = np.broadcast_to(candidate_codes, (n, m))
+    else:
+        rng = np.random.default_rng(seed)
+        picks = candidate_codes[_batch_distinct_draws(rng, n, m, k, log_weights)]
+
+    # collapse draws that hit the home instance (frozenset-union semantics)
+    keep = picks != home[:, None]
+    kept_lengths = keep.sum(axis=1).astype(np.int64)
+    replica_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(kept_lengths, out=replica_indptr[1:])
+    return PlacementArrays(
+        strategy=label,
+        toot_urls=urls,
+        domains=domains,
+        home=home,
+        replica_indices=picks[keep],
+        replica_indptr=replica_indptr,
+    )

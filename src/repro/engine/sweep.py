@@ -9,6 +9,11 @@ every failure model.  Seeds are just more strategies
 (:meth:`StrategySpec.random` embeds the seed in the spec), so a
 (strategy × ranking × seed) grid is a single call that returns every
 curve, ready for :mod:`repro.reporting`.
+
+Incidence matrices are memoised per placement map
+(:meth:`TootIncidence.from_placements`), so repeated
+:func:`availability_curves` calls on the same :class:`PlacementMap` —
+across sweeps, wrappers, or ad-hoc experiments — rebuild nothing.
 """
 
 from __future__ import annotations

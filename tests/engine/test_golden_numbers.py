@@ -8,6 +8,14 @@ of the paper's 67M-toot scale; the exact values below were measured once
 and pinned so that refactors of the replication/engine stack cannot
 silently drift the numbers.  If a change legitimately alters them (e.g.
 a new scenario generator), re-measure and update the pins deliberately.
+
+The switch to the vectorised placement builders (PR 2,
+:mod:`repro.engine.placement`) deliberately left every pin unchanged:
+the strategies pinned here (no replication, subscription replication)
+are deterministic and the arrays-backed builders reproduce the legacy
+holder sets exactly — only seeded *random* placements differ, because
+the batched draw consumes the RNG stream in a different order, and no
+pin depends on those.
 """
 
 from __future__ import annotations

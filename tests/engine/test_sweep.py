@@ -110,6 +110,37 @@ class TestSweep:
                 toots, [StrategySpec.random(1)], [failure]
             )  # no candidate domains
 
+    def test_weighted_random_strategy_end_to_end(self, scenario):
+        """A seeded weighted spec through the sweep: heavier-weighted domains
+        must receive proportionally more replicas (no test exercised
+        ``weights`` through the sweep path before)."""
+        toots, graphs, domains, asn_of = scenario
+        heavy = sorted(domains)[0]
+        weights = {d: (40.0 if d == heavy else 1.0) for d in domains}
+        spec = StrategySpec.random(2, seed=13, weights=weights, name="weighted")
+        result = run_availability_sweep(
+            toots,
+            [StrategySpec.random(2, seed=13, name="uniform"), spec],
+            [InstanceRemoval(sorted(domains), steps=3, name="instances")],
+            candidate_domains=domains,
+            keep_placements=True,
+        )
+        placements = result.placements["weighted"]
+        assert placements.strategy == "random-replication-n2-weighted"
+        arrays = placements.arrays
+        load = {d: c for d, c in zip(arrays.domains, arrays.domain_replica_load())}
+        others = [load.get(d, 0) for d in domains if d != heavy]
+        # 40x the weight -> the heavy domain lands on almost every toot it
+        # does not already host (draws hitting the home instance collapse)
+        heavy_homed = int((arrays.home == arrays.domains.index(heavy)).sum())
+        assert load[heavy] > 2 * max(others)
+        assert load[heavy] > 0.9 * (len(toots) - heavy_homed)
+        # both specs produced full curves through the same sweep call
+        for name in ("uniform", "weighted"):
+            curve = result.curve(name, "instances")
+            assert curve[0].availability == 1.0
+            assert len(curve) == 4
+
     def test_keep_placements_exposes_maps(self, scenario):
         toots, graphs, domains, _ = scenario
         result = run_availability_sweep(
