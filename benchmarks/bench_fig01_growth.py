@@ -2,36 +2,21 @@
 
 Paper shape: all three curves grow; instances plateau mid-window and then
 grow again, while users/toots keep growing throughout.
+
+Thin timing wrapper over the ``fig1`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import growth
-from repro.reporting import format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig01_growth_timeseries(benchmark, data):
-    series = benchmark(lambda: growth.growth_timeseries(data.instances))
+def test_fig01_growth(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig1").run(ctx))
+    emit("Fig. 1 — population growth", result.render_text())
 
-    rows = [
-        [point.day, point.instances, point.users, point.toots]
-        for point in series[:: max(1, len(series) // 12)]
-    ]
-    emit(
-        "Fig. 1 — population growth (sampled days)",
-        format_table(["day", "instances", "users", "toots"], rows),
-    )
-
-    assert series[-1].users >= series[0].users
-    assert series[-1].instances >= series[0].instances
-
-
-def test_fig01_growth_summary(benchmark, data):
-    summary = benchmark(lambda: growth.growth_summary(data.instances))
-    emit(
-        "Fig. 1 — growth summary",
-        format_table(["metric", "value"], [[k, round(v, 3)] for k, v in summary.items()]),
-    )
-    assert summary["final_users"] > 0
+    assert result.scalar("final_users") >= result.scalar("initial_users")
+    assert result.scalar("final_instances") >= result.scalar("initial_instances")
+    assert result.scalar("final_users") > 0

@@ -3,59 +3,26 @@
 Paper shape: open instances hold most users (mean 613 vs 87), but closed
 instances are more active per capita (186.7 vs 94.8 toots per user) and
 have more engaged users (median activity 75% vs 50%).
+
+Thin timing wrapper over the ``fig2`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import centralisation
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig02a_per_instance_cdfs(benchmark, data):
-    cdfs = benchmark(lambda: centralisation.per_instance_count_cdfs(data.instances))
-    rows = [
-        [name, len(cdf), round(cdf.quantile(0.5), 1), round(cdf.quantile(0.95), 1)]
-        for name, cdf in sorted(cdfs.items())
-    ]
-    emit(
-        "Fig. 2(a) — users/toots per instance by registration policy",
-        format_table(["series", "instances", "median", "p95"], rows),
-    )
-    assert cdfs["users_open"].quantile(0.5) >= cdfs["users_closed"].quantile(0.5)
+def test_fig02_open_closed(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig2").run(ctx))
+    emit("Fig. 2 — open vs closed registrations", result.render_text())
 
-
-def test_fig02b_registration_split(benchmark, data):
-    split = benchmark(lambda: centralisation.registration_split(data.instances))
-    emit(
-        "Fig. 2(b) — share of instances/users/toots by registration policy",
-        format_table(
-            ["registration", "instances", "users", "toots", "toots per user"],
-            [
-                ["open", split.open_instances, split.open_users, split.open_toots,
-                 round(split.toots_per_user_open, 1)],
-                ["closed", split.closed_instances, split.closed_users, split.closed_toots,
-                 round(split.toots_per_user_closed, 1)],
-            ],
-        )
-        + f"\nopen instances hold {format_percentage(split.open_user_share)} of users "
-        f"(paper: the large majority)",
-    )
-    assert split.open_user_share > 0.5
-    assert split.mean_users_open > split.mean_users_closed
-    assert split.toots_per_user_closed > split.toots_per_user_open
-
-
-def test_fig02c_activity_levels(benchmark, data):
-    cdfs = benchmark(lambda: centralisation.activity_level_cdfs(data.instances))
-    rows = [
-        [name, round(cdf.quantile(0.5), 2), round(cdf.quantile(0.9), 2)]
-        for name, cdf in sorted(cdfs.items())
-    ]
-    emit(
-        "Fig. 2(c) — per-instance activity levels (max weekly active share)",
-        format_table(["group", "median", "p90"], rows),
-    )
-    # closed instances have more engaged users than open ones (paper: 75% vs 50%)
-    assert cdfs["closed"].quantile(0.5) >= cdfs["open"].quantile(0.5)
+    assert result.scalar("users_open_median") >= result.scalar("users_closed_median")
+    # open instances hold the large majority of users
+    assert result.scalar("open_user_share") > 0.5
+    assert result.scalar("mean_users_open") > result.scalar("mean_users_closed")
+    # closed instances are more active per capita (paper: 186.7 vs 94.8)
+    assert result.scalar("toots_per_user_closed") > result.scalar("toots_per_user_open")
+    # closed instances have more engaged users (paper: 75% vs 50%)
+    assert result.scalar("activity_median_closed") >= result.scalar("activity_median_open")

@@ -2,48 +2,25 @@
 
 Paper shape: tech/games/art dominate by number of instances; adult
 instances are few (12.3%) but attract the most users (61%).
+
+Thin timing wrapper over the ``fig3`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import categories
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig03_category_breakdown(benchmark, data):
-    shares = benchmark(lambda: categories.category_breakdown(data.instances))
-    rows = [
-        [
-            share.category,
-            format_percentage(share.instance_share),
-            format_percentage(share.toot_share),
-            format_percentage(share.user_share),
-        ]
-        for share in shares
-    ]
-    emit("Fig. 3 — category shares (of the tagged subset)",
-         format_table(["category", "instances", "toots", "users"], rows))
+def test_fig03_categories(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig3").run(ctx))
+    emit("Fig. 3 — category shares", result.render_text())
 
-    by_category = {share.category: share for share in shares}
-    if "adult" in by_category and "tech" in by_category:
-        adult = by_category["adult"]
-        tech = by_category["tech"]
+    if "adult_instance_share" in result.scalars and "tech_instance_share" in result.scalars:
         # the paper's outlier: few adult instances, disproportionate users
-        assert adult.instance_share < tech.instance_share
-        assert adult.user_share > adult.instance_share
-    assert shares[0].instance_share >= shares[-1].instance_share
-
-
-def test_fig03_tagging_coverage(benchmark, data):
-    coverage = benchmark(lambda: categories.tagging_coverage(data.instances))
-    emit(
-        "Fig. 3 — tagging coverage",
-        format_table(
-            ["metric", "value"],
-            [[key, round(value, 3)] for key, value in coverage.items()],
-        ),
-    )
+        assert result.scalar("adult_instance_share") < result.scalar("tech_instance_share")
+        assert result.scalar("adult_user_share") > result.scalar("adult_instance_share")
+    assert result.scalar("largest_instance_share") >= result.scalar("smallest_instance_share")
     # only a minority of instances self-declare categories (paper: 697/4328)
-    assert coverage["instance_coverage"] < 0.5
+    assert result.scalar("instance_coverage") < 0.5

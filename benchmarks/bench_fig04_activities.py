@@ -3,52 +3,22 @@
 Paper shape: spam is the most commonly prohibited activity (76% of tagged
 instances), followed by pornography and nudity without #NSFW; instances
 allowing advertising hold a disproportionate share of users and toots.
+
+Thin timing wrapper over the ``fig4`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import categories
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig04_activity_breakdown(benchmark, data):
-    shares = benchmark(lambda: categories.activity_breakdown(data.instances))
-    rows = [
-        [
-            share.activity,
-            format_percentage(share.prohibit_instance_share),
-            format_percentage(share.allow_instance_share),
-            format_percentage(share.allow_user_share),
-            format_percentage(share.allow_toot_share),
-        ]
-        for share in shares
-    ]
-    emit(
-        "Fig. 4 — prohibited/allowed activities",
-        format_table(
-            ["activity", "prohibited (instances)", "allowed (instances)",
-             "allowed (users)", "allowed (toots)"],
-            rows,
-        ),
-    )
+def test_fig04_activities(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig4").run(ctx))
+    emit("Fig. 4 — prohibited/allowed activities", result.render_text())
 
-    by_activity = {share.activity: share for share in shares}
-    spam = by_activity.get("spam")
-    assert spam is not None
     # spam is among the most prohibited activities
-    top_prohibited = sorted(shares, key=lambda s: s.prohibit_instance_share, reverse=True)[:3]
-    assert spam in top_prohibited
-
-
-def test_fig04_policy_coverage(benchmark, data):
-    coverage = benchmark(lambda: categories.policy_coverage(data.instances))
-    emit(
-        "Fig. 4 — activity-policy coverage",
-        format_table(
-            ["metric", "value"],
-            [[key, round(value, 3)] for key, value in coverage.items()],
-        ),
-    )
-    assert 0.0 < coverage["allow_all_share"] < 0.6
+    assert result.scalar("spam_prohibit_rank") is not None
+    assert result.scalar("spam_prohibit_rank") <= 3
+    assert 0.0 < result.scalar("allow_all_share") < 0.6

@@ -4,44 +4,24 @@ Paper shape: Japan leads (25.5% of instances, 41% of users), followed by
 the US and France; the top ASes (Amazon, Cloudflare, Sakura, OVH,
 DigitalOcean) host a disproportionate share of users — the top three hold
 almost two thirds.
+
+Thin timing wrapper over the ``fig5`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import hosting
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig05_country_breakdown(benchmark, data):
-    shares = benchmark(lambda: hosting.country_breakdown(data.instances, top=5))
-    rows = [
-        [share.key, format_percentage(share.instance_share),
-         format_percentage(share.toot_share), format_percentage(share.user_share)]
-        for share in shares
-    ]
-    emit("Fig. 5 (top) — top-5 countries", format_table(["country", "instances", "toots", "users"], rows))
+def test_fig05_hosting(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig5").run(ctx))
+    emit("Fig. 5 — top countries and ASes", result.render_text())
 
-    assert shares[0].key == "JP"
-    japan = shares[0]
+    assert result.scalar("top_country") == "JP"
     # Japan attracts proportionally more users than instances (paper: 25.5% vs 41%)
-    assert japan.user_share > japan.instance_share
-
-
-def test_fig05_as_breakdown(benchmark, data):
-    shares = benchmark(lambda: hosting.asn_breakdown(data.instances, top=5))
-    rows = [
-        [share.key, format_percentage(share.instance_share),
-         format_percentage(share.toot_share), format_percentage(share.user_share)]
-        for share in shares
-    ]
-    top3 = hosting.top_as_user_share(data.instances, top=3)
-    emit(
-        "Fig. 5 (bottom) — top-5 ASes",
-        format_table(["AS", "instances", "toots", "users"], rows)
-        + f"\ntop-3 AS user share: {format_percentage(top3)} (paper: 62%)",
-    )
+    assert result.scalar("top_country_user_share") > result.scalar("top_country_instance_share")
     # the top AS hosts a much larger share of users than of instances
-    assert shares[0].user_share > shares[0].instance_share
-    assert top3 > 0.4
+    assert result.scalar("top_as_user_share") > result.scalar("top_as_instance_share")
+    assert result.scalar("top3_as_user_share") > 0.4

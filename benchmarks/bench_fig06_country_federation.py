@@ -2,46 +2,21 @@
 
 Paper shape: federation is homophilous (~32% of links stay in-country)
 and the top five countries attract ~94% of all subscription links.
+
+Thin timing wrapper over the ``fig6`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import hosting
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig06_country_flows(benchmark, data):
-    flows = benchmark(
-        lambda: hosting.country_federation_flows(
-            data.graphs.federation_graph, data.instances, top_sources=5
-        )
-    )
-    rows = [
-        [flow.source_country, flow.target_country, flow.links,
-         format_percentage(flow.share_of_source)]
-        for flow in flows[:20]
-    ]
-    emit("Fig. 6 — cross-country federation flows (top sources)",
-         format_table(["from", "to", "links", "share of source"], rows))
-    assert flows, "expected at least one federation flow"
+def test_fig06_country_federation(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig6").run(ctx))
+    emit("Fig. 6 — cross-country federation flows", result.render_text())
 
-
-def test_fig06_homophily(benchmark, data):
-    metrics = benchmark(
-        lambda: hosting.federation_homophily(data.graphs.federation_graph, data.instances)
-    )
-    emit(
-        "Fig. 6 — homophily summary",
-        format_table(
-            ["metric", "value", "paper"],
-            [
-                ["same-country link share", format_percentage(metrics["same_country_share"]), "32%"],
-                ["top-5 country link share", format_percentage(metrics["top5_country_link_share"]), "93.7%"],
-                ["total federated links", int(metrics["total_links"]), "-"],
-            ],
-        ),
-    )
-    assert 0.05 < metrics["same_country_share"] <= 1.0
-    assert metrics["top5_country_link_share"] > 0.6
+    assert result.scalar("flow_count") >= 1, "expected at least one federation flow"
+    assert 0.05 < result.scalar("same_country_share") <= 1.0
+    assert result.scalar("top5_country_link_share") > 0.6

@@ -4,61 +4,25 @@ Paper shape: about half of the instances have under 5% downtime, 4.5% are
 up more than 99.5% of the time, and a long tail of 11% is unreachable
 more than half of the time.  Failures hit instances across the whole
 popularity spectrum.
+
+Thin timing wrapper over the ``fig7`` registry runner.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import availability
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig07_downtime_cdf(benchmark, data):
-    cdf = benchmark(lambda: availability.downtime_cdf(data.instances))
-    headlines = availability.downtime_headlines(data.instances)
-    emit(
-        "Fig. 7 — downtime distribution",
-        format_table(
-            ["metric", "measured", "paper"],
-            [
-                ["share with <5% downtime", format_percentage(headlines["share_below_5pct_downtime"]), "~50%"],
-                ["share with >50% downtime", format_percentage(headlines["share_above_50pct_downtime"]), "11%"],
-                ["mean downtime", format_percentage(headlines["mean_downtime"]), "10.95%"],
-                ["median downtime", format_percentage(headlines["median_downtime"]), "<5%"],
-            ],
-        ),
-    )
-    assert 0.2 < cdf.evaluate(0.05) < 0.9
-    assert 0.02 < headlines["share_above_50pct_downtime"] < 0.3
+def test_fig07_downtime(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig7").run(ctx))
+    emit("Fig. 7 — downtime distribution and impact", result.render_text())
 
-
-def test_fig07_unavailability_impact(benchmark, data):
-    impacts = benchmark(lambda: availability.unavailability_impact(data.instances))
-    users = [impact.users for impact in impacts]
-    toots = [impact.toots for impact in impacts]
-    emit(
-        "Fig. 7 — users/toots unavailable when a failing instance is down",
-        format_table(
-            ["quantity", "p50", "p95", "max"],
-            [
-                ["users", int(np.percentile(users, 50)), int(np.percentile(users, 95)), max(users)],
-                ["toots", int(np.percentile(toots, 50)), int(np.percentile(toots, 95)), max(toots)],
-            ],
-        ),
-    )
-    # failures are not confined to tiny instances (paper: instances with
-    # >100K toots also fail); at benchmark scale: the largest failing
+    assert 0.2 < result.scalar("cdf_at_5pct_downtime") < 0.9
+    assert 0.02 < result.scalar("share_above_50pct_downtime") < 0.3
+    # popularity does not predict availability (paper correlation: -0.04)
+    assert abs(result.scalar("popularity_downtime_correlation")) < 0.4
+    # failures are not confined to tiny instances: the largest failing
     # instance is far bigger than the median one
-    assert max(toots) > 20 * max(1, int(np.percentile(toots, 50)))
-
-
-def test_fig07_popularity_not_predictive(benchmark, data):
-    correlation = benchmark(lambda: availability.popularity_downtime_correlation(data.instances))
-    emit(
-        "Fig. 7/8 — correlation between toot count and downtime",
-        f"measured correlation: {correlation:.3f} (paper: -0.04)",
-    )
-    assert abs(correlation) < 0.4
+    assert result.scalar("impact_toots_max") > 20 * max(1, result.scalar("impact_toots_p50"))

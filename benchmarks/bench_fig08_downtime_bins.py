@@ -4,53 +4,23 @@ Paper shape: small instances (<10K toots) have the most downtime, the
 largest (>1M toots) are worse than the 100K-1M group, and even 2007-era
 Twitter (mean daily downtime 1.25%) is more available than the average
 Mastodon instance (10.95%).
+
+Thin timing wrapper over the ``fig8`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import availability
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig08_downtime_by_popularity(benchmark, data):
-    edges = availability.scaled_toot_bins(data.instances)
-    bins = benchmark(
-        lambda: availability.daily_downtime_by_popularity(data.instances, bin_edges=edges)
-    )
-    rows = [
-        [
-            bin_.label,
-            bin_.instance_count,
-            format_percentage(bin_.stats.mean),
-            format_percentage(bin_.stats.median),
-            format_percentage(bin_.stats.q3),
-        ]
-        for bin_ in bins
-    ]
-    emit(
-        "Fig. 8 — per-day downtime by toot-count bin (scaled bin edges)",
-        format_table(["bin (toots)", "instances", "mean", "median", "p75"], rows),
-    )
-    assert len(bins) >= 2
+def test_fig08_downtime_bins(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig8").run(ctx))
+    emit("Fig. 8 — downtime by popularity vs Twitter", result.render_text())
+
+    assert result.scalar("bin_count") >= 2
     # the smallest instances are not the most reliable group
-    assert bins[0].stats.mean >= min(b.stats.mean for b in bins)
-
-
-def test_fig08_twitter_comparison(benchmark, data, twitter):
-    comparison = benchmark(
-        lambda: availability.twitter_downtime_comparison(data.instances, twitter.daily_downtime)
-    )
-    emit(
-        "Fig. 8 — Mastodon vs Twitter (2007) daily downtime",
-        format_table(
-            ["system", "mean daily downtime", "paper"],
-            [
-                ["Mastodon", format_percentage(comparison["mastodon_mean_downtime"]), "10.95%"],
-                ["Twitter 2007", format_percentage(comparison["twitter_mean_downtime"]), "1.25%"],
-                ["ratio", round(comparison["ratio"], 2), "~8.8x"],
-            ],
-        ),
-    )
-    assert comparison["ratio"] > 1.5
+    assert result.scalar("smallest_bin_mean_downtime") >= result.scalar("min_bin_mean_downtime")
+    # Twitter 2007 was still more available than the average instance
+    assert result.scalar("downtime_ratio") > 1.5

@@ -3,46 +3,23 @@
 Paper shape: Let's Encrypt serves >85% of instances; its 90-day expiry
 policy causes correlated outages (worst day: 105 instances down at once);
 certificate expiries explain ~6.3% of observed outages.
+
+Thin timing wrapper over the ``fig9`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import availability
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig09a_certificate_footprint(benchmark, data):
-    footprint = benchmark(lambda: availability.certificate_footprint(data.instances))
-    emit(
-        "Fig. 9(a) — certificate authority footprint",
-        format_table(
-            ["authority", "share of instances"],
-            [[authority, format_percentage(share)] for authority, share in footprint.items()],
-        ),
-    )
-    assert footprint["Let's Encrypt"] > 0.6
-    assert max(footprint.values()) == footprint["Let's Encrypt"]
+def test_fig09_certificates(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig9").run(ctx))
+    emit("Fig. 9 — certificate footprint and expiry outages", result.render_text())
 
-
-def test_fig09b_expiry_outages(benchmark, data, network):
-    window_days = network.clock.window_days
-    series = benchmark(
-        lambda: availability.certificate_expiry_outages(network.certificates, window_days)
-    )
-    worst_day = max(series, key=lambda day: series[day])
-    busy_days = [(day, count) for day, count in series.items() if count > 0]
-    emit(
-        "Fig. 9(b) — instances with a lapsed certificate per day",
-        format_table(["day", "instances lapsed"], busy_days[:15])
-        + f"\nworst day: day {worst_day} with {series[worst_day]} instances (paper: 105 on one day)",
-    )
-    assert series[worst_day] >= 2  # a correlated expiry spike exists
-
-    share = availability.certificate_outage_share(data.instances, network.certificates)
-    emit(
-        "Fig. 9 — share of outages attributable to certificate expiry",
-        f"measured: {format_percentage(share)} (paper: 6.3%)",
-    )
-    assert 0.0 < share < 0.5
+    assert result.scalar("lets_encrypt_share") > 0.6
+    assert result.scalar("max_footprint_share") == result.scalar("lets_encrypt_share")
+    # a correlated expiry spike exists (paper: 105 instances on one day)
+    assert result.scalar("worst_expiry_day_count") >= 2
+    assert 0.0 < result.scalar("certificate_outage_share") < 0.5

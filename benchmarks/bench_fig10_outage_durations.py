@@ -3,31 +3,21 @@
 Paper shape: almost every instance goes down at least once; a quarter of
 instances disappear for at least a day, 7% for over a month; 14% of users
 lose access to their instance for a whole day at least once.
+
+Thin timing wrapper over the ``fig10`` registry runner.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import availability
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig10_outage_durations(benchmark, data):
-    report = benchmark(lambda: availability.outage_durations(data.instances, min_days=1.0))
-    durations = report.durations_days
-    rows = [
-        ["instances down at least once", format_percentage(report.share_of_instances_down_at_least_once), "98%"],
-        ["instances down >= 1 day", format_percentage(report.share_down_at_least_one_day), "~25%"],
-        ["longest outage (days)", round(max(durations), 1) if durations else 0, ">30"],
-        ["median long outage (days)", round(float(np.median(durations)), 1) if durations else 0, "-"],
-        ["users affected by >=1-day outages", report.affected_users, "-"],
-        ["toots affected by >=1-day outages", report.affected_toots, "-"],
-    ]
-    emit("Fig. 10 — continuous outage durations", format_table(["metric", "measured", "paper"], rows))
+def test_fig10_outage_durations(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig10").run(ctx))
+    emit("Fig. 10 — continuous outage durations", result.render_text())
 
-    assert report.share_of_instances_down_at_least_once > 0.7
-    assert 0.05 < report.share_down_at_least_one_day < 0.8
-    assert report.affected_users > 0
+    assert result.scalar("share_down_at_least_once") > 0.7
+    assert 0.05 < result.scalar("share_down_at_least_one_day") < 0.8
+    assert result.scalar("affected_users") > 0

@@ -2,49 +2,25 @@
 
 Paper shape: all three graphs are heavy-tailed; the federation graph has
 a flatter (more uniform) degree distribution than the user-level graphs.
+
+Thin timing wrapper over the ``fig11`` registry runner.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core import resilience
-from repro.reporting import format_table
-from repro.stats.distributions import fit_power_law_exponent
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig11_degree_distributions(benchmark, data, twitter):
-    follower_degrees = data.graphs.out_degrees()
-    federation_degrees = data.graphs.federation_out_degrees()
-    twitter_degrees = [degree for _, degree in twitter.follower_graph.out_degree()]
-
-    def build_cdfs():
-        return {
-            "mastodon_users": resilience.degree_cdf([d for d in follower_degrees if d > 0]),
-            "mastodon_instances": resilience.degree_cdf([d for d in federation_degrees if d > 0]),
-            "twitter_users": resilience.degree_cdf([d for d in twitter_degrees if d > 0]),
-        }
-
-    cdfs = benchmark(build_cdfs)
-    rows = []
-    for name, cdf in cdfs.items():
-        sample = list(cdf.values)
-        rows.append(
-            [
-                name,
-                len(sample),
-                round(float(np.median(sample)), 1),
-                round(cdf.quantile(0.99), 1),
-                round(fit_power_law_exponent(sample), 2),
-            ]
-        )
-    emit(
-        "Fig. 11 — out-degree distributions",
-        format_table(["graph", "nodes", "median degree", "p99 degree", "power-law exponent"], rows),
-    )
+def test_fig11_degree(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig11").run(ctx))
+    emit("Fig. 11 — out-degree distributions", result.render_text())
 
     # heavy tails: the 99th percentile is far above the median for user graphs
-    assert cdfs["mastodon_users"].quantile(0.99) > 4 * max(1.0, cdfs["mastodon_users"].quantile(0.5))
-    assert cdfs["twitter_users"].quantile(0.99) > 4 * max(1.0, cdfs["twitter_users"].quantile(0.5))
+    assert result.scalar("mastodon_users_p99_degree") > 4 * max(
+        1.0, result.scalar("mastodon_users_median_degree")
+    )
+    assert result.scalar("twitter_users_p99_degree") > 4 * max(
+        1.0, result.scalar("twitter_users_median_degree")
+    )

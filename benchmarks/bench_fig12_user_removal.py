@@ -3,52 +3,23 @@
 Paper shape: Mastodon's social graph is far more sensitive than Twitter's
 — removing the top 1% of accounts shrinks Mastodon's LCC from ~100% to
 26% of users, while Twitter retains ~80% even after losing the top 10%.
+
+Thin timing wrapper over the ``fig12`` registry runner (the sweeps
+dispatch through the engine's CSR/csgraph kernels).
 """
 
 from __future__ import annotations
 
-from repro.core import resilience
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
-ROUNDS = 10
 
+def test_fig12_user_removal(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig12").run(ctx))
+    emit("Fig. 12 — removing the top 1% of accounts per round", result.render_text())
 
-def test_fig12_user_removal_sweep(benchmark, data, twitter):
-    def run():
-        return (
-            resilience.user_removal_sweep(
-                data.graphs.follower_graph, rounds=ROUNDS, fraction_per_round=0.01
-            ),
-            resilience.user_removal_sweep(
-                twitter.follower_graph, rounds=ROUNDS, fraction_per_round=0.01
-            ),
-        )
-
-    mastodon_steps, twitter_steps = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = [
-        [
-            format_percentage(m.removed_fraction),
-            format_percentage(m.lcc_fraction),
-            m.components,
-            format_percentage(t.lcc_fraction),
-            t.components,
-        ]
-        for m, t in zip(mastodon_steps, twitter_steps)
-    ]
-    emit(
-        "Fig. 12 — removing the top 1% of accounts per round",
-        format_table(
-            ["removed", "Mastodon LCC", "Mastodon components", "Twitter LCC", "Twitter components"],
-            rows,
-        ),
-    )
-
-    assert mastodon_steps[0].lcc_fraction > 0.9
-    # the LCC shrinks monotonically and Mastodon degrades at least as fast as Twitter
-    mastodon_drop = mastodon_steps[0].lcc_fraction - mastodon_steps[-1].lcc_fraction
-    twitter_drop = twitter_steps[0].lcc_fraction - twitter_steps[-1].lcc_fraction
-    assert mastodon_drop > 0.05
-    assert mastodon_drop >= twitter_drop - 0.05
+    assert result.scalar("mastodon_initial_lcc") > 0.9
+    # the LCC shrinks and Mastodon degrades at least as fast as Twitter
+    assert result.scalar("mastodon_lcc_drop") > 0.05
+    assert result.scalar("mastodon_lcc_drop") >= result.scalar("twitter_lcc_drop") - 0.05

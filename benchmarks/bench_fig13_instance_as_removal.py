@@ -5,89 +5,35 @@ Paper shape: removing top instances degrades the LCC roughly linearly
 far more damaging — five ASes take the LCC from 92% to roughly half, and
 ranking ASes by hosted users shatters GF into more components than
 ranking by hosted instances.
+
+Thin timing wrapper over the ``fig13`` registry runner (the sweeps
+dispatch through the engine's CSR/csgraph kernels).
 """
 
 from __future__ import annotations
 
-from repro.core import resilience
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig13a_instance_removal(benchmark, data):
-    federation = data.graphs.federation_graph
-    users = data.instances.users_per_instance()
-    toots = data.instances.toots_per_instance()
+def test_fig13_instance_as_removal(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig13").run(ctx))
+    emit("Fig. 13 — LCC of GF under instance/AS removal", result.render_text())
 
-    def run():
-        results = {}
-        for criterion in ("users", "toots", "connections"):
-            ranking = resilience.rank_instances(federation, users, toots, by=criterion)
-            results[criterion] = resilience.instance_removal_sweep(
-                federation, ranking, steps=30, per_step=1
-            )
-        return results
-
-    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = []
-    for removed in (0, 5, 10, 20, 30):
-        row = [removed]
-        for criterion in ("users", "toots", "connections"):
-            steps = sweeps[criterion]
-            step = steps[min(removed, len(steps) - 1)]
-            row.append(format_percentage(step.lcc_fraction))
-        rows.append(row)
-    emit(
-        "Fig. 13(a) — LCC of GF after removing top-N instances",
-        format_table(["instances removed", "by users", "by toots", "by connections"], rows),
-    )
-
-    for steps in sweeps.values():
-        fractions = [s.lcc_fraction for s in steps]
-        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    for criterion in ("users", "toots", "connections"):
+        assert result.scalar(f"instance_{criterion}_monotonic")
         # instance removal degrades GF gradually, not catastrophically
-        assert fractions[5] > 0.5 * fractions[0]
-
-
-def test_fig13b_as_removal(benchmark, data):
-    federation = data.graphs.federation_graph
-    instances = data.instances
-    users = instances.users_per_instance()
-    asn_of = {d: instances.metadata_for(d).asn for d in instances.domains()}
-
-    def run():
-        by_instances = resilience.as_removal_sweep(
-            federation, asn_of, resilience.rank_ases(asn_of, by="instances"), steps=15
+        assert result.scalar(f"instance_{criterion}_lcc_after_5") > 0.5 * result.scalar(
+            f"instance_{criterion}_initial_lcc"
         )
-        by_users = resilience.as_removal_sweep(
-            federation, asn_of, resilience.rank_ases(asn_of, users, by="users"), steps=15
-        )
-        return by_instances, by_users
 
-    by_instances, by_users = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    rows = [
-        [
-            index,
-            format_percentage(step_i.lcc_fraction),
-            step_i.components,
-            format_percentage(step_u.lcc_fraction),
-            step_u.components,
-        ]
-        for index, (step_i, step_u) in enumerate(zip(by_instances, by_users))
-    ]
-    emit(
-        "Fig. 13(b) — LCC/components of GF after removing top-N ASes",
-        format_table(
-            ["ASes removed", "LCC (rank by instances)", "components", "LCC (rank by users)", "components"],
-            rows,
-        ),
-    )
-
-    assert by_instances[0].lcc_fraction > 0.85
+    assert result.scalar("as_by_instances_initial_lcc") > 0.85
     # removing 5 ASes cuts the LCC drastically (paper: 92% -> ~46%)
-    assert by_instances[5].lcc_fraction < 0.75 * by_instances[0].lcc_fraction
+    assert result.scalar("as_by_instances_lcc_after_5") < 0.75 * result.scalar(
+        "as_by_instances_initial_lcc"
+    )
     # ranking by users creates at least as many components as ranking by instances
-    assert by_users[5].components >= by_instances[5].components - 2
+    assert result.scalar("as_by_users_components_after_5") >= result.scalar(
+        "as_by_instances_components_after_5"
+    ) - 2

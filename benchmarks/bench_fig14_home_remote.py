@@ -4,43 +4,21 @@ Paper shape: 78% of instances generate under 10% of the toots on their
 own federated timeline and 5% generate none at all; the more toots an
 instance generates, the more often its content is replicated elsewhere
 (correlation 0.97) — a few "feeder" instances supply the whole network.
+
+Thin timing wrapper over the ``fig14`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import federation_analysis
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_fig14_home_remote_series(benchmark, data):
-    points = benchmark(lambda: federation_analysis.home_remote_series(data.toots))
-    sampled = points[:: max(1, len(points) // 12)]
-    rows = [
-        [point.domain, format_percentage(point.home_share), format_percentage(point.remote_share), point.total_toots]
-        for point in sampled
-    ]
-    emit(
-        "Fig. 14 — home vs remote toots per federated timeline (ordered by home share)",
-        format_table(["instance", "home", "remote", "timeline toots"], rows),
-    )
-    shares = [point.home_share for point in points]
-    assert shares == sorted(shares)
+def test_fig14_home_remote(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("fig14").run(ctx))
+    emit("Fig. 14 — home vs remote toots", result.render_text())
 
-
-def test_fig14_feeder_summary(benchmark, data):
-    summary = benchmark(lambda: federation_analysis.feeder_summary(data.toots))
-    emit(
-        "Fig. 14 — feeder summary",
-        format_table(
-            ["metric", "measured", "paper"],
-            [
-                ["instances with <10% home toots", format_percentage(summary["share_under_10pct_home"]), "78%"],
-                ["instances fully remote", format_percentage(summary["share_fully_remote"]), "5%"],
-                ["toots vs replication correlation", round(summary["toots_vs_replication_correlation"], 2), "0.97"],
-            ],
-        ),
-    )
-    assert summary["share_under_10pct_home"] > 0.3
-    assert summary["toots_vs_replication_correlation"] > 0.5
+    assert result.scalar("home_shares_sorted")
+    assert result.scalar("share_under_10pct_home") > 0.3
+    assert result.scalar("toots_vs_replication_correlation") > 0.5

@@ -6,145 +6,35 @@ toots) erases 62.69% of all toots and removing the top 10 ASes erases
 90.1%; replicating each toot to its followers' instances cuts those
 losses to 2.1% and 18.66% respectively.
 
-Both experiments dispatch through the engine's sweep API: one incidence
-matrix per strategy, every removal schedule batched against it.
+Thin timing wrapper over the ``fig15`` registry runner: one engine sweep
+(incidence matrix per strategy, every removal schedule batched against
+it) whose rankings, failure models and placement maps live in the shared
+:class:`~repro.experiments.context.ExperimentContext` — the duplicated
+``_rankings``/``_failures`` setup this file used to carry is gone.
+
+``pedantic(rounds=1)``: the context memoises placements/rankings, so
+repeated rounds would time cache hits, not the experiment.
 """
 
 from __future__ import annotations
 
-from repro.core import replication, resilience
-from repro.engine import ASRemoval, InstanceRemoval, StrategySpec, run_availability_sweep
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
-INSTANCE_STEPS = 50
-AS_STEPS = 15
 
-
-def _rankings(data):
-    federation = data.graphs.federation_graph
-    instances = data.instances
-    users = instances.users_per_instance()
-    toots = data.toots.toots_per_instance()
-    asn_of = {d: instances.metadata_for(d).asn for d in instances.domains()}
-    instance_rankings = {
-        "by_users": resilience.rank_instances(federation, users, toots, by="users"),
-        "by_toots": resilience.rank_instances(federation, users, toots, by="toots"),
-        "by_connections": resilience.rank_instances(federation, users, toots, by="connections"),
-    }
-    as_rankings = {
-        "by_instances": resilience.rank_ases(asn_of, by="instances"),
-        "by_users": resilience.rank_ases(asn_of, users, by="users"),
-    }
-    return instance_rankings, as_rankings, asn_of
-
-
-def _failures(instance_rankings, as_rankings, asn_of):
-    return [
-        *(
-            InstanceRemoval(ranking, steps=INSTANCE_STEPS, name=f"instances/{name}")
-            for name, ranking in instance_rankings.items()
-        ),
-        *(
-            ASRemoval(asn_of, ranking, steps=AS_STEPS, name=f"ases/{name}")
-            for name, ranking in as_rankings.items()
-        ),
-    ]
-
-
-def test_fig15_no_replication(benchmark, data):
-    instance_rankings, as_rankings, asn_of = _rankings(data)
-    failures = _failures(instance_rankings, as_rankings, asn_of)
-
-    def run():
-        return run_availability_sweep(data.toots, [StrategySpec.none()], failures)
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    def at(failure, removed):
-        return replication.availability_at(result.curve("no-rep", failure), removed)
-
-    rows = [
-        [
-            removed,
-            format_percentage(at("instances/by_toots", removed)),
-            format_percentage(at("instances/by_users", removed)),
-            format_percentage(at("instances/by_connections", removed)),
-        ]
-        for removed in (0, 5, 10, 25, 50)
-    ]
-    emit(
-        "Fig. 15(a,b) — toot availability, no replication (instance removal)",
-        format_table(["instances removed", "rank by toots", "rank by users", "rank by connections"], rows),
+def test_fig15_replication(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig15").run(ctx), rounds=1, iterations=1
     )
-    as_rows = [
-        [
-            removed,
-            format_percentage(at("ases/by_instances", removed)),
-            format_percentage(at("ases/by_users", removed)),
-        ]
-        for removed in (0, 3, 5, 10, 15)
-    ]
-    emit(
-        "Fig. 15(a) — toot availability, no replication (AS removal)",
-        format_table(["ASes removed", "rank by instances", "rank by users"], as_rows),
-    )
+    emit("Fig. 15 — availability with/without subscription replication", result.render_text())
 
+    no_rep_top10 = result.scalar("no_rep_top10_instances_by_toots")
     # removing the top 10 instances erases a large share of toots (paper: 62.69%)
-    top10 = at("instances/by_toots", 10)
-    assert top10 < 0.7
+    assert no_rep_top10 < 0.7
     # removing the top 10 ASes is even worse (paper: 90.1% lost)
-    top10_as = at("ases/by_users", 10)
-    assert top10_as <= top10 + 0.05
-
-
-def test_fig15_subscription_replication(benchmark, data):
-    instance_rankings, as_rankings, asn_of = _rankings(data)
-    failures = [
-        InstanceRemoval(instance_rankings["by_toots"], steps=INSTANCE_STEPS, name="instances"),
-        ASRemoval(asn_of, as_rankings["by_users"], steps=AS_STEPS, name="ases"),
-    ]
-
-    def run():
-        return run_availability_sweep(
-            data.toots,
-            [StrategySpec.none(), StrategySpec.subscription()],
-            failures,
-            graphs=data.graphs,
-            keep_placements=True,
-        )
-
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-    instance_curve = result.curve("s-rep", "instances")
-    as_curve = result.curve("s-rep", "ases")
-    no_rep_curve = result.curve("no-rep", "instances")
-
-    rows = [
-        [
-            removed,
-            format_percentage(replication.availability_at(no_rep_curve, removed)),
-            format_percentage(replication.availability_at(instance_curve, removed)),
-        ]
-        for removed in (0, 5, 10, 25, 50)
-    ]
-    emit(
-        "Fig. 15(c,d) — subscription replication vs no replication (instance removal by toots)",
-        format_table(["instances removed", "no replication", "subscription replication"], rows),
-    )
-    summary = result.placements["s-rep"].replication_summary()
-    emit(
-        "Fig. 15 — subscription replication placement summary",
-        format_table(
-            ["metric", "measured", "paper"],
-            [
-                ["toots without any replica", format_percentage(summary["share_without_replica"]), "9.7%"],
-                ["toots with >10 replicas", format_percentage(summary["share_with_more_than_10"]), "23%"],
-                ["mean replicas per toot", round(summary["mean_replicas"], 2), "-"],
-            ],
-        ),
-    )
-
+    assert result.scalar("no_rep_top10_ases_by_users") <= no_rep_top10 + 0.05
     # replication recovers most of the availability lost to the top-10 removal
-    assert replication.availability_at(instance_curve, 10) > replication.availability_at(no_rep_curve, 10) + 0.2
-    assert replication.availability_at(as_curve, 10) >= replication.availability_at(instance_curve, 10) - 0.6
+    s_rep_top10 = result.scalar("s_rep_top10_instances_by_toots")
+    assert s_rep_top10 > no_rep_top10 + 0.2
+    assert result.scalar("s_rep_top10_ases_by_users") >= s_rep_top10 - 0.6

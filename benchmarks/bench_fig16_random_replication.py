@@ -6,67 +6,38 @@ instances, S-Rep keeps 95% of toots available while a single random
 replica already keeps 99.2%); curves for n > 4 are indistinguishable from
 full availability.
 
-The whole strategy grid — no replication, subscription, six random
-replica budgets, and a capacity-weighted variant — is one engine sweep
-call sharing the removal schedule.  Placements are built by the
-vectorised builders (one batched draw per strategy, Gumbel top-k for the
-weighted spec; see :mod:`repro.engine.placement`), so constructing the
-grid no longer dominates the benchmark the way the per-toot
-``rng.choice`` loop did.
+Thin timing wrapper over the ``fig16`` registry runner: the whole
+strategy grid — no replication, subscription, six random replica budgets
+and a capacity-weighted variant — is one engine sweep sharing the
+``instances/by_toots`` removal schedule (and, via the context's
+placement memo, the ``no-rep``/``s-rep`` incidence matrices) with fig15.
+
+``pedantic(rounds=1)``: the context memoises placements/rankings, so
+repeated rounds would time cache hits, not the experiment.
 """
 
 from __future__ import annotations
 
-from repro.core import resilience
-from repro.engine import InstanceRemoval, StrategySpec, run_availability_sweep
-from repro.reporting import format_sweep_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
-REPLICA_COUNTS = (1, 2, 3, 4, 7, 9)
-STEPS = 50
 
-
-def test_fig16_random_replication(benchmark, data):
-    ranking = resilience.rank_instances(
-        data.graphs.federation_graph,
-        toots_per_instance=data.toots.toots_per_instance(),
-        by="toots",
+def test_fig16_random_replication(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: get_experiment("fig16").run(ctx), rounds=1, iterations=1
     )
-    domains = data.instances.domains()
-    capacity = {d: 1.0 + users for d, users in data.instances.users_per_instance().items()}
-    strategies = [
-        StrategySpec.none(name="no-rep"),
-        StrategySpec.subscription(name="s-rep"),
-        *(StrategySpec.random(n, seed=7, name=f"n={n}") for n in REPLICA_COUNTS),
-        StrategySpec.random(2, seed=7, weights=capacity, name="n=2/weighted"),
-    ]
-    failure = InstanceRemoval(ranking, steps=STEPS, name="instances")
+    emit("Fig. 16 — toot availability when removing top instances (by toots)", result.render_text())
 
-    def run():
-        return run_availability_sweep(
-            data.toots,
-            strategies,
-            [failure],
-            graphs=data.graphs,
-            candidate_domains=domains,
-        )
+    def at25(strategy: str) -> float:
+        return result.scalar(f"at25[{strategy}]")
 
-    result = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    removals = (5, 10, 25, 50)
-    emit(
-        "Fig. 16 — toot availability when removing top instances (by toots)",
-        format_sweep_table(result, "instances", removals),
-    )
-
-    at25 = result.compare("instances", 25)
     # ordering: no replication < subscription replication <= random replication
-    assert at25["no-rep"] < at25["s-rep"]
-    assert at25["n=1"] >= at25["s-rep"] - 0.05
-    assert at25["n=4"] >= at25["n=1"] - 1e-9
+    assert at25("no-rep") < at25("s-rep")
+    assert at25("n=1") >= at25("s-rep") - 0.05
+    assert at25("n=4") >= at25("n=1") - 1e-9
     # high replica counts keep nearly everything available (paper: >99%)
-    assert at25["n=7"] > 0.95
+    assert at25("n=7") > 0.95
     # weighting towards big instances concentrates replicas on exactly the
     # targets of the removal schedule, so it cannot beat uniform placement
-    assert at25["n=2/weighted"] <= at25["n=2"] + 0.02
+    assert at25("n=2/weighted") <= at25("n=2") + 0.02

@@ -2,35 +2,22 @@
 
 Paper shape: the top 5% of instances hold 90.6% of users and 94.8% of
 toots; 10% of instances host almost half of the users.
+
+Thin timing wrapper over the ``headline`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import centralisation
-from repro.reporting import format_percentage, format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_headline_concentration(benchmark, data):
-    metrics = benchmark(lambda: centralisation.concentration_metrics(data.instances))
-    half_fraction = centralisation.smallest_fraction_hosting_share(data.instances, share=0.5)
-    emit(
-        "Section 4.1 — concentration headlines",
-        format_table(
-            ["metric", "measured", "paper"],
-            [
-                ["top 5% instances: user share", format_percentage(metrics["top5pct_user_share"]), "90.6%"],
-                ["top 5% instances: toot share", format_percentage(metrics["top5pct_toot_share"]), "94.8%"],
-                ["top 10% instances: user share", format_percentage(metrics["top10pct_user_share"]), ">=50%"],
-                ["instances needed for 50% of users", format_percentage(half_fraction), "<=10%"],
-                ["user Gini coefficient", round(metrics["user_gini"], 2), "-"],
-                ["toot Gini coefficient", round(metrics["toot_gini"], 2), "-"],
-            ],
-        ),
-    )
+def test_headline_concentration(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("headline").run(ctx))
+    emit("Section 4.1 — concentration headlines", result.render_text())
 
-    assert metrics["top5pct_user_share"] > 0.4
-    assert metrics["top10pct_user_share"] >= 0.5
-    assert half_fraction <= 0.10 + 0.05
-    assert metrics["user_gini"] > 0.6
+    assert result.scalar("top5pct_user_share") > 0.4
+    assert result.scalar("top10pct_user_share") >= 0.5
+    assert result.scalar("half_user_fraction") <= 0.10 + 0.05
+    assert result.scalar("user_gini") > 0.6

@@ -4,52 +4,23 @@ Paper shape: the top-10 instances are dominated by large Japanese
 deployments (mstdn.jp, friends.nico, pawoo.net), run by a mix of
 companies, individuals and crowd-funded operators, hosted on the big
 clouds, with very high degrees in both the user and federation graphs.
+
+Thin timing wrapper over the ``table2`` registry runner.
 """
 
 from __future__ import annotations
 
-from repro.core import federation_analysis
-from repro.reporting import format_table
+from repro.reporting import get_experiment
 
 from benchmarks.conftest import emit
 
 
-def test_table2_top_instances(benchmark, data):
-    rows_data = benchmark(
-        lambda: federation_analysis.top_instances_report(
-            data.toots, data.graphs, data.instances, top=10
-        )
-    )
-    rows = [
-        [
-            row.domain,
-            row.home_toots,
-            row.users,
-            row.user_out_degree,
-            row.user_in_degree,
-            row.toot_out_degree,
-            row.toot_in_degree,
-            row.instance_out_degree,
-            row.instance_in_degree,
-            row.operator,
-            f"{row.as_name} ({row.country})",
-        ]
-        for row in rows_data
-    ]
-    emit(
-        "Table 2 — top 10 instances by home toots",
-        format_table(
-            [
-                "Domain", "Home toots", "Users", "U-OD", "U-ID",
-                "T-OD", "T-ID", "I-OD", "I-ID", "Run by", "AS (country)",
-            ],
-            rows,
-        ),
-    )
+def test_table2_top_instances(benchmark, ctx):
+    result = benchmark(lambda: get_experiment("table2").run(ctx))
+    emit("Table 2 — top 10 instances by home toots", result.render_text())
 
-    assert len(rows_data) == 10
-    counts = [row.home_toots for row in rows_data]
-    assert counts == sorted(counts, reverse=True)
+    assert result.scalar("row_count") == 10
+    assert result.scalar("home_toots_sorted_desc")
     # the flagship instances have high federation degrees and real hosting metadata
-    assert rows_data[0].instance_out_degree > 0 or rows_data[0].instance_in_degree > 0
-    assert all(row.as_name for row in rows_data)
+    assert result.scalar("top_has_federation_degree")
+    assert result.scalar("all_as_names_present")

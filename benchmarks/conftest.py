@@ -3,6 +3,11 @@
 Every benchmark regenerates one of the paper's tables or figures against
 the *same* "small" synthetic fediverse (a ~1/20th-scale population), so
 the scenario and the measurement pipeline are built once per session.
+The per-figure benches are thin timing wrappers over the experiment
+registry (``get_experiment(id).run(ctx)``): the ``ctx`` fixture wraps
+the session-scoped pipeline in an
+:class:`~repro.experiments.context.ExperimentContext`, the library-level
+equivalent of what these fixtures do inside pytest.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
 tables/series next to the timing numbers.
@@ -14,6 +19,7 @@ import pytest
 
 from repro import CollectedDatasets, build_scenario, collect_datasets
 from repro.datasets import TwitterBaselines
+from repro.experiments import ExperimentContext
 
 BENCH_SEED = 42
 
@@ -39,6 +45,25 @@ def data(network) -> CollectedDatasets:
 def twitter() -> TwitterBaselines:
     """Twitter comparison baselines (2007 uptime, 2011 follower graph)."""
     return TwitterBaselines.generate(days=300, n_users=4_000, seed=2007)
+
+
+@pytest.fixture(scope="session")
+def ctx(network, data) -> ExperimentContext:
+    """The session pipeline wrapped as a shared experiment context.
+
+    Placement maps, rankings and incidence matrices memoise here, so the
+    replication benches share artefacts exactly as ``run --all`` does.
+    The Twitter baselines are *not* pre-seeded: the context generates
+    them lazily (same parameters as the ``twitter`` fixture), so benches
+    that never compare against Twitter never pay for them.
+    """
+    return ExperimentContext.from_datasets(
+        data,
+        network=network,
+        preset="small",
+        seed=BENCH_SEED,
+        monitor_interval_minutes=2 * 60,
+    )
 
 
 def emit(title: str, body: str) -> None:

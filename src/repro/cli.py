@@ -1,14 +1,18 @@
 """Command-line interface for the reproduction toolkit.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     repro-mastodon scenario     --preset small --seed 7   # population summary
     repro-mastodon report       --preset tiny  --seed 7   # headline analyses
     repro-mastodon export OUT/  --preset tiny  --seed 7   # anonymised JSONL dump
-    repro-mastodon experiments                             # list every table/figure
+    repro-mastodon experiments                            # list every table/figure
+    repro-mastodon run fig15 fig16 --preset small --seed 42 --json out/
+    repro-mastodon run --all --preset tiny --seed 7       # the whole evaluation
 
-The CLI is a thin wrapper over the public API (``build_scenario``,
-``collect_datasets`` and the ``repro.core`` analyses); anything it prints
+The CLI is a thin wrapper over the public API: ``run`` dispatches
+through :func:`repro.experiments.run_experiments` (one shared, memoised
+pipeline for any subset of the paper's experiments), ``report`` is a
+view over the same runners' headline scalars, and anything printed here
 can also be produced programmatically.
 """
 
@@ -20,10 +24,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import build_scenario, collect_datasets
-from repro.core import availability, centralisation, federation_analysis, hosting
 from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
 from repro.datasets import Anonymiser, save_edges, save_snapshots, save_toot_records
+from repro.errors import AnalysisError
+from repro.experiments import ExperimentContext, has_runner, run_experiments
 from repro.reporting import EXPERIMENTS, format_percentage, format_table
+
+#: The experiments whose scalars make up the ``report`` headline table.
+REPORT_EXPERIMENTS = ("headline", "fig5", "fig7", "fig14")
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -52,16 +60,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     scenario = subparsers.add_parser("scenario", help="generate a scenario and print its population")
     _add_scenario_arguments(scenario)
+    scenario.set_defaults(func=_command_scenario)
 
     report = subparsers.add_parser("report", help="run the measurement pipeline and print headline analyses")
     _add_scenario_arguments(report)
+    report.set_defaults(func=_command_report)
 
     export = subparsers.add_parser("export", help="export anonymised datasets as JSON lines")
     export.add_argument("output_dir", help="directory to write the JSONL files into")
     _add_scenario_arguments(export)
     export.add_argument("--salt", default=None, help="anonymisation salt (random if omitted)")
+    export.set_defaults(func=_command_export)
 
-    subparsers.add_parser("experiments", help="list every reproducible table and figure")
+    experiments = subparsers.add_parser(
+        "experiments", help="list every reproducible table and figure"
+    )
+    experiments.set_defaults(func=_command_experiments)
+
+    run = subparsers.add_parser(
+        "run",
+        help="run experiments from the registry over one shared pipeline",
+        description=(
+            "Run any subset of the paper's experiments (e.g. 'run fig15 fig16'). "
+            "The scenario, measurement pipeline and placements are built once and "
+            "shared across every selected experiment."
+        ),
+    )
+    run.add_argument(
+        "experiment_ids",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (fig1..fig16, table1, table2, headline)",
+    )
+    run.add_argument(
+        "--all", action="store_true", dest="run_all", help="run every registered experiment"
+    )
+    _add_scenario_arguments(run)
+    run.add_argument(
+        "--json",
+        metavar="DIR",
+        dest="json_dir",
+        default=None,
+        help="also write one <experiment>.json result file per experiment into DIR",
+    )
+    run.set_defaults(func=_command_run)
     return parser
 
 
@@ -79,20 +121,27 @@ def _command_scenario(args: argparse.Namespace) -> int:
 
 
 def _command_report(args: argparse.Namespace) -> int:
-    network = build_scenario(args.preset, seed=args.seed)
-    data = collect_datasets(network, monitor_interval_minutes=args.monitor_interval)
-    metrics = centralisation.concentration_metrics(data.instances)
-    downtime = availability.downtime_headlines(data.instances)
-    feeders = federation_analysis.feeder_summary(data.toots)
-    top_countries = hosting.country_breakdown(data.instances, top=3)
+    ctx = ExperimentContext(
+        preset=args.preset, seed=args.seed, monitor_interval_minutes=args.monitor_interval
+    )
+    results = run_experiments(REPORT_EXPERIMENTS, ctx=ctx)
+    headline = results["headline"]
+    hosting_result = results["fig5"]
+    downtime = results["fig7"]
+    federation = results["fig14"]
     rows = [
-        ["top 10% instances: user share", format_percentage(metrics["top10pct_user_share"])],
-        ["user Gini coefficient", round(metrics["user_gini"], 2)],
-        ["top hosting country", f"{top_countries[0].key} ({format_percentage(top_countries[0].user_share)} of users)"],
-        ["top-3 AS user share", format_percentage(hosting.top_as_user_share(data.instances, top=3))],
-        ["mean instance downtime", format_percentage(downtime["mean_downtime"])],
-        ["instances >50% downtime", format_percentage(downtime["share_above_50pct_downtime"])],
-        ["instances with <10% home toots", format_percentage(feeders["share_under_10pct_home"])],
+        ["top 10% instances: user share",
+         format_percentage(headline.scalar("top10pct_user_share"))],
+        ["user Gini coefficient", round(headline.scalar("user_gini"), 2)],
+        ["top hosting country",
+         f"{hosting_result.scalar('top_country')} "
+         f"({format_percentage(hosting_result.scalar('top_country_user_share'))} of users)"],
+        ["top-3 AS user share", format_percentage(hosting_result.scalar("top3_as_user_share"))],
+        ["mean instance downtime", format_percentage(downtime.scalar("mean_downtime"))],
+        ["instances >50% downtime",
+         format_percentage(downtime.scalar("share_above_50pct_downtime"))],
+        ["instances with <10% home toots",
+         format_percentage(federation.scalar("share_under_10pct_home"))],
     ]
     print(
         format_table(
@@ -123,12 +172,60 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_experiments() -> int:
+def _command_experiments(args: argparse.Namespace) -> int:
     rows = [
-        [experiment.experiment_id, experiment.title, experiment.benchmark]
+        [
+            experiment.experiment_id,
+            experiment.title,
+            experiment.benchmark,
+            "yes" if has_runner(experiment.experiment_id) else "-",
+        ]
         for experiment in EXPERIMENTS.values()
     ]
-    print(format_table(["id", "title", "benchmark"], rows, title="Reproducible experiments"))
+    print(format_table(["id", "title", "benchmark", "runner"], rows, title="Reproducible experiments"))
+    print("\nrun them with: repro-mastodon run <id> [<id> ...] | --all")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if args.run_all and args.experiment_ids:
+        print("error: pass experiment ids or --all, not both", file=sys.stderr)
+        return 2
+    if not args.run_all and not args.experiment_ids:
+        print("error: no experiments selected (pass ids or --all)", file=sys.stderr)
+        return 2
+    ids = list(EXPERIMENTS) if args.run_all else args.experiment_ids
+    unknown = [experiment_id for experiment_id in ids if experiment_id not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        print(
+            f"error: unknown experiment id(s): {', '.join(unknown)} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    ctx = ExperimentContext(
+        preset=args.preset, seed=args.seed, monitor_interval_minutes=args.monitor_interval
+    )
+    try:
+        results = run_experiments(ids, ctx=ctx)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    for result in results.values():
+        print(result.render_text())
+        print()
+
+    if args.json_dir is not None:
+        output = Path(args.json_dir)
+        output.mkdir(parents=True, exist_ok=True)
+        for experiment_id, result in results.items():
+            (output / f"{experiment_id}.json").write_text(result.to_json() + "\n")
+        print(f"wrote {len(results)} result file(s) to {output}/")
+
+    built = ", ".join(f"{name} ×{count}" for name, count in ctx.counters.items())
+    print(f"ran {len(results)} experiment(s) on '{args.preset}' (seed {args.seed}); pipeline builds: {built}")
     return 0
 
 
@@ -136,16 +233,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-mastodon`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "scenario":
-        return _command_scenario(args)
-    if args.command == "report":
-        return _command_report(args)
-    if args.command == "export":
-        return _command_export(args)
-    if args.command == "experiments":
-        return _command_experiments()
-    parser.error(f"unknown command: {args.command}")  # pragma: no cover
-    return 2  # pragma: no cover
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

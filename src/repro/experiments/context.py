@@ -1,0 +1,270 @@
+"""The shared pipeline behind every experiment: built lazily, built once.
+
+:class:`ExperimentContext` owns the expensive artefacts the paper's
+experiments share — the scenario network, the ``collect_datasets``
+measurement pipeline, the Twitter baselines, instance/AS rankings, the
+standard removal schedules, and the placement maps behind the
+replication sweeps — and memoises each one the first time a runner asks
+for it.  ``run_experiments(["fig1", ..., "table2"])`` therefore builds
+the pipeline exactly once; :attr:`ExperimentContext.counters` records
+how many times each builder actually ran, so callers (and tests) can
+prove it.
+
+Placement maps are memoised per :class:`~repro.engine.sweep.StrategySpec`
+(the specs are frozen, hashable recipes), which means the engine's weak
+per-map incidence cache (:meth:`TootIncidence.from_placements`) hits
+across experiments too: fig15 and fig16 share the same ``no-rep`` and
+``s-rep`` incidence matrices instead of rebuilding them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, TypeVar
+
+from repro import CollectedDatasets, build_scenario, collect_datasets
+from repro.core import resilience
+from repro.errors import AnalysisError
+from repro.core.replication import AvailabilityPoint, PlacementMap
+from repro.datasets import TwitterBaselines
+from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
+from repro.engine.sweep import StrategySpec, SweepResult, availability_curves
+
+T = TypeVar("T")
+
+#: Removal-schedule lengths shared by the fig13/15/16 family.
+INSTANCE_REMOVAL_STEPS = 50
+AS_REMOVAL_STEPS = 15
+
+
+class ExperimentContext:
+    """Lazily builds and memoises the artefacts experiments share."""
+
+    def __init__(
+        self,
+        preset: str = "tiny",
+        seed: int = 7,
+        monitor_interval_minutes: int = 24 * 60,
+        twitter_days: int = 300,
+        twitter_users: int = 4_000,
+        twitter_seed: int = 2007,
+    ) -> None:
+        self.preset = preset
+        self.seed = seed
+        self.monitor_interval_minutes = monitor_interval_minutes
+        self.twitter_days = twitter_days
+        self.twitter_users = twitter_users
+        self.twitter_seed = twitter_seed
+        #: How many times each expensive builder actually ran.
+        self.counters: dict[str, int] = {
+            "build_scenario": 0,
+            "collect_datasets": 0,
+            "twitter_baselines": 0,
+            "placements_built": 0,
+        }
+        self._network = None
+        self._data: CollectedDatasets | None = None
+        self._twitter: TwitterBaselines | None = None
+        self._memo: dict[object, object] = {}
+        self._placements: dict[StrategySpec, PlacementMap] = {}
+
+    @classmethod
+    def from_datasets(
+        cls,
+        data: CollectedDatasets,
+        *,
+        network=None,
+        twitter: TwitterBaselines | None = None,
+        preset: str = "custom",
+        seed: int | None = None,
+        monitor_interval_minutes: int = 24 * 60,
+    ) -> "ExperimentContext":
+        """Wrap pre-built artefacts (e.g. pytest session fixtures).
+
+        The provided objects seed the caches directly, so the counters
+        stay at zero: nothing was built *by* this context.  Pass the
+        ``monitor_interval_minutes`` the datasets were actually collected
+        with — it is recorded in every result's run metadata.
+        """
+        ctx = cls(
+            preset=preset,
+            seed=-1 if seed is None else seed,
+            monitor_interval_minutes=monitor_interval_minutes,
+        )
+        ctx._network = network if network is not None else data.network
+        ctx._data = data
+        ctx._twitter = twitter
+        return ctx
+
+    # -- the three pipeline roots --------------------------------------------
+
+    @property
+    def network(self):
+        """The scenario fediverse (built on first access)."""
+        if self._network is None:
+            self._network = build_scenario(self.preset, seed=self.seed)
+            self.counters["build_scenario"] += 1
+        return self._network
+
+    @property
+    def data(self) -> CollectedDatasets:
+        """The full measurement pipeline output (built on first access)."""
+        if self._data is None:
+            self._data = collect_datasets(
+                self.network, monitor_interval_minutes=self.monitor_interval_minutes
+            )
+            self.counters["collect_datasets"] += 1
+        return self._data
+
+    @property
+    def twitter(self) -> TwitterBaselines:
+        """The Twitter comparison baselines (built on first access)."""
+        if self._twitter is None:
+            self._twitter = TwitterBaselines.generate(
+                days=self.twitter_days, n_users=self.twitter_users, seed=self.twitter_seed
+            )
+            self.counters["twitter_baselines"] += 1
+        return self._twitter
+
+    # -- memoised derived artefacts ------------------------------------------
+
+    def memo(self, key: object, build: Callable[[], T]) -> T:
+        """Build-once storage for derived artefacts keyed by ``key``."""
+        if key not in self._memo:
+            self._memo[key] = build()
+        return self._memo[key]  # type: ignore[return-value]
+
+    @property
+    def domains(self) -> list[str]:
+        """Every instance domain (the random-replication candidate set)."""
+        return self.memo("domains", lambda: self.data.instances.domains())
+
+    @property
+    def users_per_instance(self) -> dict[str, int]:
+        return self.memo("users_per_instance", lambda: self.data.instances.users_per_instance())
+
+    @property
+    def toots_per_instance(self) -> dict[str, int]:
+        """Crawled toots per instance (the fig15/16 ranking source)."""
+        return self.memo("toots_per_instance", lambda: self.data.toots.toots_per_instance())
+
+    @property
+    def asn_of(self) -> dict[str, int]:
+        """Instance domain -> hosting AS number."""
+        return self.memo(
+            "asn_of",
+            lambda: {
+                domain: self.data.instances.metadata_for(domain).asn
+                for domain in self.data.instances.domains()
+            },
+        )
+
+    def instance_ranking(self, by: str) -> list[str]:
+        """Instances ranked for removal (``"users"|"toots"|"connections"``)."""
+        return self.memo(
+            ("instance_ranking", by),
+            lambda: resilience.rank_instances(
+                self.data.graphs.federation_graph,
+                self.users_per_instance,
+                self.toots_per_instance,
+                by=by,
+            ),
+        )
+
+    def as_ranking(self, by: str) -> list[int]:
+        """ASes ranked for removal (``"instances"`` or ``"users"``)."""
+        return self.memo(
+            ("as_ranking", by),
+            lambda: resilience.rank_ases(
+                self.asn_of,
+                self.users_per_instance if by == "users" else None,
+                by=by,
+            ),
+        )
+
+    def standard_failures(self) -> list[FailureModel]:
+        """The fig15-family failure grid: 3 instance + 2 AS removal schedules.
+
+        Names follow the ``instances/by_<ranking>`` / ``ases/by_<ranking>``
+        convention; the models are shared objects, so sweeps across
+        experiments reuse the same removal schedules.
+        """
+        return self.memo("standard_failures", self._build_standard_failures)
+
+    def _build_standard_failures(self) -> list[FailureModel]:
+        return [
+            *(
+                InstanceRemoval(
+                    self.instance_ranking(by),
+                    steps=INSTANCE_REMOVAL_STEPS,
+                    name=f"instances/by_{by}",
+                )
+                for by in ("users", "toots", "connections")
+            ),
+            *(
+                ASRemoval(
+                    self.asn_of,
+                    self.as_ranking(by),
+                    steps=AS_REMOVAL_STEPS,
+                    name=f"ases/by_{by}",
+                )
+                for by in ("instances", "users")
+            ),
+        ]
+
+    # -- placement strategies and sweeps -------------------------------------
+
+    def placements_for(self, spec: StrategySpec) -> PlacementMap:
+        """The placement map for ``spec``, built once per distinct spec."""
+        if spec not in self._placements:
+            self._placements[spec] = spec.build(
+                self.data.toots,
+                graphs=self.data.graphs,
+                candidate_domains=self.domains,
+            )
+            self.counters["placements_built"] += 1
+        return self._placements[spec]
+
+    def sweep(
+        self,
+        strategies: Sequence[StrategySpec],
+        failures: Sequence[FailureModel],
+        *,
+        keep_placements: bool = False,
+    ) -> SweepResult:
+        """A (strategy × failure) availability sweep over cached placements.
+
+        The context-level equivalent of
+        :func:`repro.engine.sweep.run_availability_sweep`: placement maps
+        come from :meth:`placements_for`, so repeated sweeps sharing a
+        strategy also share its incidence matrix via the engine's weak
+        per-map cache.
+        """
+        if not strategies:
+            raise AnalysisError("need at least one placement strategy")
+        names = [spec.name for spec in strategies]
+        if len(set(names)) != len(names):
+            raise AnalysisError("placement strategies must have distinct names")
+        curves: dict[tuple[str, str], list[AvailabilityPoint]] = {}
+        placements_by_name: dict[str, PlacementMap] = {}
+        for spec in strategies:
+            placements = self.placements_for(spec)
+            if keep_placements:
+                placements_by_name[spec.name] = placements
+            for failure_name, curve in availability_curves(placements, failures).items():
+                curves[(spec.name, failure_name)] = curve
+        return SweepResult(
+            curves=curves,
+            strategy_names=tuple(spec.name for spec in strategies),
+            failure_names=tuple(failure.name for failure in failures),
+            placements=placements_by_name,
+        )
+
+    # -- run metadata ---------------------------------------------------------
+
+    def run_metadata(self) -> Mapping[str, object]:
+        """The scenario parameters stamped into every result's metadata."""
+        return {
+            "preset": self.preset,
+            "seed": self.seed,
+            "monitor_interval_minutes": self.monitor_interval_minutes,
+        }

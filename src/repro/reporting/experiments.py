@@ -2,14 +2,22 @@
 
 Each entry records what the paper shows, which modules implement the
 pieces, and which benchmark regenerates it — the machine-readable version
-of the per-experiment index in DESIGN.md.
+of the per-experiment index in DESIGN.md.  Entries are *executable*:
+:meth:`Experiment.run` dispatches to the runner registered in
+:mod:`repro.experiments` and returns a structured
+:class:`~repro.experiments.results.ExperimentResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+    from repro.experiments.results import ExperimentResult
 
 
 @dataclass(frozen=True, slots=True)
@@ -21,6 +29,16 @@ class Experiment:
     paper_claim: str
     modules: tuple[str, ...]
     benchmark: str
+
+    def run(self, ctx: "ExperimentContext") -> "ExperimentResult":
+        """Execute this experiment's registered runner against ``ctx``.
+
+        Imported lazily: the reporting layer stays importable without
+        pulling the runner modules (and their analysis imports) in.
+        """
+        from repro.experiments import run_experiment
+
+        return run_experiment(self.experiment_id, ctx)
 
 
 EXPERIMENTS: dict[str, Experiment] = {

@@ -1,0 +1,113 @@
+"""Tests for the structured experiment result layer."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.results import (
+    RESULT_SCHEMA,
+    ExperimentResult,
+    ResultSeries,
+    ResultTable,
+    coerce_scalar,
+)
+
+
+def sample_result() -> ExperimentResult:
+    return ExperimentResult.build(
+        "fig99",
+        "A synthetic experiment",
+        tables=[
+            ResultTable.build(
+                "counts", ["name", "value"], [["alpha", 1], ["beta", 2.5], ["gamma", None]]
+            )
+        ],
+        series=[ResultSeries.build("curve", [0, 1, 2], [1.0, 0.5, 0.25], x_label="removed")],
+        scalars={"answer": 42, "flag": True, "ratio": 0.5},
+        metadata={"preset": "tiny", "seed": 7},
+    )
+
+
+class TestCoercion:
+    def test_numpy_values_become_plain_python(self):
+        assert coerce_scalar(np.int64(3)) == 3
+        assert type(coerce_scalar(np.int64(3))) is int
+        assert coerce_scalar(np.float64(0.5)) == 0.5
+        assert type(coerce_scalar(np.float64(0.5))) is float
+
+    def test_bools_survive(self):
+        assert coerce_scalar(True) is True
+
+    def test_unrepresentable_values_rejected(self):
+        with pytest.raises(AnalysisError):
+            coerce_scalar(object())
+
+
+class TestResultTable:
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(AnalysisError):
+            ResultTable.build("bad", ["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(AnalysisError):
+            ResultTable.build("bad", [], [])
+
+    def test_render_text_uses_table_renderer(self):
+        table = ResultTable.build("Counts", ["name", "n"], [["alpha", 1200]])
+        text = table.render_text()
+        assert text.splitlines()[0] == "Counts"
+        assert "1,200" in text
+
+
+class TestResultSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            ResultSeries.build("bad", [1, 2], [1])
+
+    def test_values_coerced_to_float(self):
+        series = ResultSeries.build("s", [0, 1], [2, 3])
+        assert series.x == (0.0, 1.0)
+        assert series.y == (2.0, 3.0)
+
+
+class TestExperimentResult:
+    def test_scalar_lookup(self):
+        result = sample_result()
+        assert result.scalar("answer") == 42
+        with pytest.raises(AnalysisError, match="no scalar"):
+            result.scalar("missing")
+
+    def test_series_lookup(self):
+        result = sample_result()
+        assert result.get_series("curve").x_label == "removed"
+        with pytest.raises(AnalysisError, match="no series"):
+            result.get_series("missing")
+
+    def test_render_text_contains_everything(self):
+        text = sample_result().render_text()
+        assert "[fig99] A synthetic experiment" in text
+        assert "alpha" in text
+        assert "curve" in text
+        assert "answer" in text
+
+    def test_json_round_trip(self):
+        result = sample_result()
+        payload = json.loads(result.to_json())
+        assert payload["schema"] == RESULT_SCHEMA
+        restored = ExperimentResult.from_json_dict(payload)
+        assert restored == result
+
+    def test_unknown_schema_rejected(self):
+        payload = sample_result().to_json_dict()
+        payload["schema"] = "something/else"
+        with pytest.raises(AnalysisError, match="schema"):
+            ExperimentResult.from_json_dict(payload)
+
+    def test_with_metadata_does_not_override_existing_keys(self):
+        result = sample_result().with_metadata({"preset": "small", "extra": 1})
+        assert result.metadata["preset"] == "tiny"  # existing wins
+        assert result.metadata["extra"] == 1

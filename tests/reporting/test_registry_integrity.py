@@ -1,0 +1,53 @@
+"""Registry integrity: metadata, benchmark scripts and runners stay in sync."""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+
+from repro.experiments import has_runner, runnable_ids
+from repro.reporting.experiments import EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestBenchmarkPaths:
+    def test_every_registered_benchmark_exists_on_disk(self):
+        missing = [
+            experiment.benchmark
+            for experiment in EXPERIMENTS.values()
+            if not (REPO_ROOT / experiment.benchmark).is_file()
+        ]
+        assert not missing, f"registry points at missing benchmark scripts: {missing}"
+
+    def test_no_benchmark_referenced_twice(self):
+        counts = Counter(experiment.benchmark for experiment in EXPERIMENTS.values())
+        duplicates = {path: n for path, n in counts.items() if n > 1}
+        assert not duplicates, f"benchmark scripts referenced by several entries: {duplicates}"
+
+    def test_every_figure_and_table_script_is_registered(self):
+        """Every bench_fig*/bench_table* script belongs to exactly one entry.
+
+        Catches rename drift in both directions: a script renamed without
+        updating the registry shows up as unregistered, and a registry
+        entry pointing at a renamed script fails the exists-on-disk test.
+        """
+        on_disk = {
+            f"benchmarks/{path.name}"
+            for pattern in ("bench_fig*.py", "bench_table*.py")
+            for path in (REPO_ROOT / "benchmarks").glob(pattern)
+        }
+        referenced = {experiment.benchmark for experiment in EXPERIMENTS.values()}
+        unregistered = on_disk - referenced
+        assert not unregistered, f"benchmark scripts not in the registry: {sorted(unregistered)}"
+
+
+class TestRunners:
+    def test_every_registry_entry_has_a_runner(self):
+        missing = [
+            experiment_id for experiment_id in EXPERIMENTS if not has_runner(experiment_id)
+        ]
+        assert not missing, f"registry entries without an executable runner: {missing}"
+
+    def test_runnable_ids_preserve_registry_order(self):
+        assert runnable_ids() == list(EXPERIMENTS)

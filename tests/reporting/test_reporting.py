@@ -47,6 +47,40 @@ class TestTables:
         assert format_percentage(0.1234) == "12.3%"
         assert format_percentage(0.5, digits=0) == "50%"
 
+    def test_format_percentage_digits(self):
+        assert format_percentage(0.123456, digits=2) == "12.35%"
+        assert format_percentage(0.123456, digits=4) == "12.3456%"
+        assert format_percentage(0.0) == "0.0%"
+        assert format_percentage(1.0) == "100.0%"
+
+    def test_bools_are_not_formatted_as_numbers(self):
+        table = format_table(["flag"], [[True], [False]])
+        assert "True" in table and "False" in table
+        # bools are left-aligned like text, not right-aligned like ints
+        lines = table.splitlines()
+        assert lines[-2].startswith("True")
+        assert lines[-1].startswith("False")
+
+    def test_int_vs_bool_alignment_in_same_column(self):
+        table = format_table(["value"], [[1000000], [True]])
+        lines = table.splitlines()
+        assert lines[-2].endswith("1,000,000")  # int: right-aligned with separators
+        assert lines[-1].startswith("True")     # bool: left-aligned, no formatting
+
+    def test_float_thousands_separator(self):
+        table = format_table(["x"], [[1234.5678]])
+        assert "1,234.57" in table
+
+    def test_ragged_row_error_message_names_widths(self):
+        with pytest.raises(AnalysisError, match="row width 3 does not match header width 2"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_mixed_type_column_width(self):
+        table = format_table(["v"], [["a-long-string"], [7]])
+        lines = table.splitlines()
+        assert lines[-2] == "a-long-string"
+        assert lines[-1].endswith("            7")
+
 
 class TestFigureSeries:
     def test_add_and_export(self):

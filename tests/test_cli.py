@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import ExperimentResult
 
 
 class TestParser:
@@ -25,6 +28,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["export"])
 
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig15", "fig16"])
+        assert args.experiment_ids == ["fig15", "fig16"]
+        assert args.run_all is False
+        assert args.json_dir is None
+        assert args.preset == "tiny"
+
+    def test_every_subcommand_dispatches_via_func(self):
+        """set_defaults(func=...) dispatch: no command can silently fall through."""
+        for argv in (["scenario"], ["report"], ["export", "out"], ["experiments"], ["run", "fig1"]):
+            args = build_parser().parse_args(argv)
+            assert callable(args.func), f"{argv[0]} has no dispatch function"
+
 
 class TestCommands:
     def test_experiments_lists_registry(self, capsys):
@@ -33,6 +49,8 @@ class TestCommands:
         assert "fig12" in output
         assert "table1" in output
         assert "benchmarks/bench_fig16_random_replication.py" in output
+        # every entry is executable, and the listing says so
+        assert "runner" in output
 
     def test_scenario_prints_population(self, capsys):
         assert main(["scenario", "--preset", "tiny", "--seed", "3"]) == 0
@@ -67,3 +85,45 @@ class TestCommands:
         assert (tmp_path / "dump" / "instance_snapshots.jsonl").exists()
         assert (tmp_path / "dump" / "toots.jsonl").exists()
         assert (tmp_path / "dump" / "follower_edges.jsonl").exists()
+
+
+class TestRunCommand:
+    def test_no_selection_is_an_error(self, capsys):
+        assert main(["run"]) == 2
+        assert "no experiments selected" in capsys.readouterr().err
+
+    def test_ids_and_all_are_mutually_exclusive(self, capsys):
+        assert main(["run", "fig1", "--all"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_experiment_id_exit_code(self, capsys):
+        assert main(["run", "fig1", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "known:" in err
+
+    def test_run_prints_results_and_pipeline_summary(self, capsys):
+        assert main(["run", "fig14", "headline", "--preset", "tiny", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "[fig14] Home vs remote toots" in output
+        assert "[headline] Section 4.1 concentration headlines" in output
+        # the context-level counters prove the pipeline was built once
+        assert "build_scenario ×1" in output
+        assert "collect_datasets ×1" in output
+
+    def test_run_json_round_trips_into_experiment_result(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        assert (
+            main(["run", "fig15", "--preset", "tiny", "--seed", "7", "--json", str(out_dir)])
+            == 0
+        )
+        assert "wrote 1 result file(s)" in capsys.readouterr().out
+        payload = json.loads((out_dir / "fig15.json").read_text())
+        result = ExperimentResult.from_json_dict(payload)
+        assert result.experiment_id == "fig15"
+        assert result.title == "Toot availability without and with subscription replication"
+        assert result.metadata["preset"] == "tiny"
+        assert result.metadata["seed"] == 7
+        assert len(result.tables) >= 1
+        assert len(result.series) >= 1
+        assert 0.0 <= result.scalar("no_rep_top10_instances_by_toots") <= 1.0
