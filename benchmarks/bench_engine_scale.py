@@ -163,6 +163,24 @@ def main() -> None:
     print(f"  speedup             : {speedup:8.1f}x (required >= {MIN_SPEEDUP:.0f}x)")
     assert speedup >= MIN_SPEEDUP, "engine speedup regressed below 10x"
 
+    try:
+        from benchmarks.perf_log import record
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from perf_log import record
+
+    path = record(
+        "engine_scale",
+        {
+            "n_toots": N_TOOTS,
+            "n_schedules": n_failures,
+            "legacy_seconds": round(legacy_time, 4),
+            "engine_seconds": round(engine_time, 4),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    print(f"  recorded            : {path}")
+
 
 if __name__ == "__main__":
     main()

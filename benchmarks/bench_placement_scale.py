@@ -143,13 +143,30 @@ def main() -> None:
         f"random_replication construction: {N_TOOTS:,} toots x {N_DOMAINS} domains, "
         f"{N_REPLICAS} replicas"
     )
+    payload: dict[str, object] = {
+        "n_toots": N_TOOTS,
+        "n_domains": N_DOMAINS,
+        "n_replicas": N_REPLICAS,
+        "min_speedup": MIN_SPEEDUP,
+    }
     for label, (legacy_time, fast_time) in results.items():
         speedup = legacy_time / fast_time
         print(f"  [{label}]")
         print(f"    legacy python loop  : {legacy_time:8.3f}s")
         print(f"    vectorised builder  : {fast_time:8.3f}s")
         print(f"    speedup             : {speedup:8.1f}x (required >= {MIN_SPEEDUP:.0f}x)")
+        payload[f"legacy_seconds[{label}]"] = round(legacy_time, 4)
+        payload[f"vectorised_seconds[{label}]"] = round(fast_time, 4)
+        payload[f"speedup[{label}]"] = round(speedup, 2)
         assert speedup >= MIN_SPEEDUP, f"{label} placement speedup regressed below 10x"
+
+    try:
+        from benchmarks.perf_log import record
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from perf_log import record
+
+    path = record("placement_scale", payload)
+    print(f"  recorded            : {path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,56 @@
+"""Consolidated benchmark trajectory: ``BENCH_engine.json``.
+
+The scale benches (``bench_engine_scale``, ``bench_placement_scale``,
+``bench_shard_scale``) each gate a speedup or memory claim; this module
+gives them one place to *record* the measured numbers so the perf
+trajectory survives beyond a CI log.  Every bench calls :func:`record`
+with its section name and payload; entries merge into a single JSON
+document keyed by section, so running the benches in any order (or one
+at a time) converges on the same consolidated file.
+
+The output path defaults to ``BENCH_engine.json`` in the working
+directory and can be redirected with the ``BENCH_ENGINE_JSON``
+environment variable.  The repo-root copy is **committed on purpose**:
+it is the recorded trajectory baseline, updated deliberately when a PR
+moves the numbers (CI regenerates its own copy and uploads it as a
+build artifact for run-over-run comparison).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+SCHEMA = "repro.bench_engine/v1"
+
+
+def default_path() -> Path:
+    """Where the consolidated document lives (env-overridable)."""
+    return Path(os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json"))
+
+
+def record(section: str, payload: dict, path: Path | str | None = None) -> Path:
+    """Merge one bench's measurements into the consolidated document.
+
+    ``payload`` should be plain-JSON scalars (seconds, speedups, byte
+    counts, gate thresholds).  Each entry is stamped with the recording
+    time and the machine context, so trajectory diffs can tell a real
+    regression from a hardware change.
+    """
+    target = Path(path) if path is not None else default_path()
+    if target.exists():
+        document = json.loads(target.read_text())
+    else:
+        document = {"schema": SCHEMA, "entries": {}}
+    document["entries"][section] = {
+        **payload,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target

@@ -8,6 +8,7 @@ Five subcommands cover the common workflows::
     repro-mastodon experiments                            # list every table/figure
     repro-mastodon run fig15 fig16 --preset small --seed 42 --json out/
     repro-mastodon run --all --preset tiny --seed 7       # the whole evaluation
+    repro-mastodon run fig15 fig16 --preset large --shard-size 100000 --workers 4
 
 The CLI is a thin wrapper over the public API: ``run`` dispatches
 through :func:`repro.experiments.run_experiments` (one shared, memoised
@@ -37,9 +38,9 @@ REPORT_EXPERIMENTS = ("headline", "fig5", "fig7", "fig14")
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset",
-        choices=("tiny", "small", "medium"),
+        choices=("tiny", "small", "medium", "large"),
         default="tiny",
-        help="scenario size preset (default: tiny)",
+        help="scenario size preset (default: tiny; 'large' targets 1M+ toots)",
     )
     parser.add_argument("--seed", type=int, default=7, help="scenario random seed (default: 7)")
     parser.add_argument(
@@ -102,6 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_dir",
         default=None,
         help="also write one <experiment>.json result file per experiment into DIR",
+    )
+    run.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        metavar="TOOTS",
+        help=(
+            "evaluate availability sweeps in toot-range shards of this size "
+            "(0 disables sharding; default: automatic past the engine's "
+            "corpus-size threshold)"
+        ),
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate incidence shards on N threads (implies sharding for N > 1)",
     )
     run.set_defaults(func=_command_run)
     return parser
@@ -205,7 +224,11 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
 
     ctx = ExperimentContext(
-        preset=args.preset, seed=args.seed, monitor_interval_minutes=args.monitor_interval
+        preset=args.preset,
+        seed=args.seed,
+        monitor_interval_minutes=args.monitor_interval,
+        shard_size=args.shard_size,
+        workers=args.workers,
     )
     try:
         results = run_experiments(ids, ctx=ctx)

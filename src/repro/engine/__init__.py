@@ -18,7 +18,12 @@ and then answers whole experiments with batch numpy/scipy reductions:
 entire availability curves per failure schedule
 (:mod:`repro.engine.kernels`), whole LCC/component removal trajectories
 (:mod:`repro.engine.resilience`), and full (strategy × failure × seed)
-grids in one call (:mod:`repro.engine.sweep`).
+grids in one call (:mod:`repro.engine.sweep`).  Past the auto-shard
+threshold — or on request via ``shard_size``/``workers`` — evaluation
+streams through :class:`ShardedIncidence`
+(:mod:`repro.engine.sharding`): per-toot-range incidence shards
+assembled lazily and reduced to additive loss tables, so peak memory is
+O(shard) and shards can run thread-parallel with bit-identical output.
 
 The public functions in :mod:`repro.core` remain the stable API; they
 dispatch here and are held to *bit-identical* outputs by the
@@ -27,7 +32,15 @@ models subclass :class:`FailureModel` — see :mod:`repro.engine.failures`.
 """
 
 from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
-from repro.engine.incidence import NEVER_REMOVED, TootIncidence
+from repro.engine.incidence import DomainLookup, NEVER_REMOVED, TootIncidence
+from repro.engine.sharding import (
+    AUTO_SHARD_THRESHOLD,
+    DEFAULT_SHARD_SIZE,
+    IncidenceShard,
+    ShardedIncidence,
+    sharded_availability_curves,
+    streaming_losses,
+)
 from repro.engine.placement import (
     PlacementArrays,
     build_no_replication,
@@ -41,6 +54,7 @@ from repro.engine.kernels import (
     kill_steps,
     kill_steps_batch,
     losses_per_step,
+    losses_per_step_batch,
 )
 from repro.engine.resilience import (
     GraphMatrix,
@@ -59,11 +73,16 @@ from repro.engine.sweep import (
 
 __all__ = [
     "ASRemoval",
+    "AUTO_SHARD_THRESHOLD",
+    "DEFAULT_SHARD_SIZE",
+    "DomainLookup",
     "FailureModel",
     "GraphMatrix",
+    "IncidenceShard",
     "InstanceRemoval",
     "NEVER_REMOVED",
     "PlacementArrays",
+    "ShardedIncidence",
     "StrategySpec",
     "SweepResult",
     "TootIncidence",
@@ -79,8 +98,11 @@ __all__ = [
     "kill_steps",
     "kill_steps_batch",
     "losses_per_step",
+    "losses_per_step_batch",
     "random_strategy_grid",
     "ranked_removal_sweep_matrix",
     "run_availability_sweep",
+    "sharded_availability_curves",
+    "streaming_losses",
     "user_removal_sweep_matrix",
 ]

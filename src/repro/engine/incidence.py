@@ -22,9 +22,9 @@ it has been handed to the engine.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import chain
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 from scipy import sparse
@@ -39,6 +39,66 @@ NEVER_REMOVED = np.inf
 _INCIDENCE_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
+class DomainLookup:
+    """Vectorised name→column resolution over a fixed domain universe.
+
+    Built once per incidence (or shard set) and reused by every
+    :meth:`TootIncidence.removal_vector` / :meth:`as_assignment` call:
+    the domain names live in one sorted numpy string array, so resolving
+    a batch of names is a single :func:`numpy.searchsorted` plus fancy
+    indexing instead of a per-name dict loop.  Names outside the
+    universe resolve to ``-1`` (they cannot affect any toot).
+    """
+
+    def __init__(self, domains: Sequence[str]) -> None:
+        self.n_domains = len(domains)
+        names = np.asarray(domains, dtype=np.str_)
+        order = np.argsort(names, kind="stable").astype(np.int64)
+        self._sorted_names = names[order]
+        self._order = order
+
+    def codes(self, names: Sequence[str]) -> np.ndarray:
+        """Column codes for ``names`` (``-1`` for unknown domains)."""
+        if not len(names):
+            return np.empty(0, dtype=np.int64)
+        queries = np.asarray(names, dtype=np.str_)
+        position = np.searchsorted(self._sorted_names, queries)
+        clipped = np.minimum(position, max(self.n_domains - 1, 0))
+        known = (
+            (self._sorted_names[clipped] == queries)
+            if self.n_domains
+            else np.zeros(len(queries), dtype=bool)
+        )
+        codes = np.where(known, self._order[clipped], -1)
+        return codes.astype(np.int64)
+
+    def removal_vector(self, removal_index: Mapping[str, int], steps: int) -> np.ndarray:
+        """Dense per-domain removal steps (see :meth:`TootIncidence.removal_vector`)."""
+        vector = np.full(self.n_domains, NEVER_REMOVED, dtype=np.float64)
+        if not removal_index:
+            return vector
+        codes = self.codes(list(removal_index.keys()))
+        removal_steps = np.fromiter(
+            removal_index.values(), dtype=np.float64, count=len(removal_index)
+        )
+        keep = (codes >= 0) & (removal_steps <= steps)
+        vector[codes[keep]] = removal_steps[keep]
+        return vector
+
+    def as_assignment(self, asn_of_instance: Mapping[str, int]) -> np.ndarray:
+        """Instance→AS vector (see :meth:`TootIncidence.as_assignment`)."""
+        assignment = np.full(self.n_domains, -1, dtype=np.int64)
+        if not asn_of_instance:
+            return assignment
+        codes = self.codes(list(asn_of_instance.keys()))
+        asns = np.fromiter(
+            asn_of_instance.values(), dtype=np.int64, count=len(asn_of_instance)
+        )
+        keep = codes >= 0
+        assignment[codes[keep]] = asns[keep]
+        return assignment
+
+
 @dataclass
 class TootIncidence:
     """Binary toot×instance incidence matrix plus its index maps."""
@@ -47,6 +107,7 @@ class TootIncidence:
     toot_urls: tuple[str, ...]
     domains: tuple[str, ...]
     domain_index: dict[str, int]
+    _lookup: DomainLookup | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_toots(self) -> int:
@@ -158,6 +219,13 @@ class TootIncidence:
             domain_index=domain_index,
         )
 
+    @property
+    def lookup(self) -> DomainLookup:
+        """The vectorised domain resolver (built lazily, once per matrix)."""
+        if self._lookup is None:
+            self._lookup = DomainLookup(self.domains)
+        return self._lookup
+
     def removal_vector(self, removal_index: Mapping[str, int], steps: int) -> np.ndarray:
         """Per-domain removal steps as a dense float vector.
 
@@ -167,23 +235,11 @@ class TootIncidence:
         legacy per-toot loop's survival rule.  Removed domains unknown to
         the matrix are ignored: they cannot affect any toot.
         """
-        vector = np.full(self.n_domains, NEVER_REMOVED, dtype=np.float64)
-        for domain, step in removal_index.items():
-            if step > steps:
-                continue
-            column = self.domain_index.get(domain)
-            if column is not None:
-                vector[column] = float(step)
-        return vector
+        return self.lookup.removal_vector(removal_index, steps)
 
     def as_assignment(self, asn_of_instance: Mapping[str, int]) -> np.ndarray:
         """Instance→AS assignment vector aligned with the matrix columns.
 
         Instances without a known AS get ``-1``.
         """
-        assignment = np.full(self.n_domains, -1, dtype=np.int64)
-        for domain, asn in asn_of_instance.items():
-            column = self.domain_index.get(domain)
-            if column is not None:
-                assignment[column] = int(asn)
-        return assignment
+        return self.lookup.as_assignment(asn_of_instance)

@@ -1,0 +1,306 @@
+"""Sharded streaming availability: constant-memory evaluation at paper scale.
+
+The monolithic pipeline builds one toot×instance CSR matrix for the
+whole corpus and (historically) one dense ``(n_toots, k)`` kill matrix
+per sweep, so peak memory grows linearly with the corpus — the binding
+constraint on the road to the paper's 67M-toot scale.  This module
+removes it by exploiting one algebraic fact: per-step **loss counts are
+additive across disjoint toot ranges**.  A schedule's availability curve
+is ``1 - cumsum(losses) / total``, and ``losses`` is a sum of integer
+bincounts, so evaluating the corpus shard by shard and summing the
+per-shard loss tables reconstructs every curve *exactly* — bit-identical
+to the unsharded reduction — while only ever holding one shard's
+incidence structure in memory.
+
+:class:`ShardedIncidence` slices the integer-coded
+:class:`~repro.engine.placement.PlacementArrays` backend by toot range
+and assembles each shard's CSR matrix lazily (generator-based, so peak
+incidence memory is O(shard), not O(corpus)); for placements that only
+exist as a built :class:`~repro.engine.incidence.TootIncidence`,
+:meth:`ShardedIncidence.from_incidence` shards the existing matrix by
+row range instead.  :func:`streaming_losses` folds the shards into one
+small ``(k, max_steps + 1)`` loss table — serially, or across a
+``ThreadPoolExecutor`` when ``workers > 1``: the gather and
+``maximum.reduceat`` kernels release the GIL, shards are independent,
+and the reduction is an integer sum folded in shard order, so the
+parallel path is deterministic and bit-identical to the serial one.
+
+``availability_curves`` / ``run_availability_sweep``
+(:mod:`repro.engine.sweep`) expose this via ``shard_size`` / ``workers``
+knobs with an auto-shard threshold; the CLI forwards them as
+``--shard-size`` / ``--workers``.  ``benchmarks/bench_shard_scale.py``
+gates the identity, memory, and parallel-speedup claims.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import AnalysisError
+from repro.engine.incidence import DomainLookup, TootIncidence
+from repro.engine.kernels import curves_from_loss_table, losses_per_step_batch
+
+#: Corpora at or above this many toots are sharded automatically when the
+#: integer-coded arrays backend is available (see ``_resolve_sharding``
+#: in :mod:`repro.engine.sweep`).
+AUTO_SHARD_THRESHOLD = 1_000_000
+
+#: Shard size used when sharding is requested (or auto-triggered)
+#: without an explicit size: large enough to amortise per-shard numpy
+#: call overhead, small enough that a shard's CSR structure plus the
+#: reduction buffers stay tens of megabytes.
+DEFAULT_SHARD_SIZE = 250_000
+
+
+@dataclass(frozen=True)
+class IncidenceShard:
+    """One contiguous toot range of the corpus, as its own CSR matrix."""
+
+    start: int
+    stop: int
+    matrix: sparse.csr_matrix
+
+    @property
+    def n_toots(self) -> int:
+        return self.stop - self.start
+
+
+class ShardedIncidence:
+    """A toot×instance incidence matrix sliced into row-range shards.
+
+    Shards share the full domain universe (columns), so any per-domain
+    removal vector applies to every shard unchanged; only the toot rows
+    are partitioned.  Shard matrices are **assembled lazily** — iterate
+    :meth:`shards` and each CSR materialises on demand, to be dropped as
+    soon as the caller moves on — which is what keeps streaming
+    evaluation at O(shard) peak memory.
+
+    Build one with :meth:`from_arrays` (straight from the integer-coded
+    placement backend, never materialising the full matrix) or
+    :meth:`from_incidence` (row-range views over an already-built
+    matrix, for dict-backed placement maps).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_toots: int,
+        domains: tuple[str, ...],
+        shard_size: int,
+        assemble: Callable[[int, int], sparse.csr_matrix],
+    ) -> None:
+        if n_toots <= 0:
+            raise AnalysisError("the placement map is empty")
+        if shard_size < 1:
+            raise AnalysisError("shard_size must be a positive number of toots")
+        self.n_toots = n_toots
+        self.domains = domains
+        self.shard_size = shard_size
+        self._assemble = assemble
+        self._lookup: DomainLookup | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: "PlacementArrays", shard_size: int
+    ) -> "ShardedIncidence":
+        """Shard the integer-coded placement backend by toot range.
+
+        Each shard's CSR structure is assembled independently from
+        slices of the backend's home/replica arrays — the same
+        interleaving :meth:`TootIncidence.from_arrays` uses, applied to
+        rows ``[start, stop)`` only — so the full corpus matrix never
+        exists.
+        """
+        if arrays.n_toots == 0:
+            raise AnalysisError("the placement map is empty")
+        home = arrays.home
+        replica_indices = arrays.replica_indices
+        replica_indptr = arrays.replica_indptr
+        n_domains = arrays.n_domains
+
+        def assemble(start: int, stop: int) -> sparse.csr_matrix:
+            rows = stop - start
+            lengths = np.diff(replica_indptr[start : stop + 1]) + 1  # +1: home copy
+            indptr = np.zeros(rows + 1, dtype=np.int64)
+            np.cumsum(lengths, out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.empty(total, dtype=np.int64)
+            home_slots = indptr[:-1]
+            indices[home_slots] = home[start:stop]
+            replica_slots = np.ones(total, dtype=bool)
+            replica_slots[home_slots] = False
+            lo = int(replica_indptr[start])
+            hi = int(replica_indptr[stop])
+            indices[replica_slots] = replica_indices[lo:hi]
+            matrix = sparse.csr_matrix(
+                (np.ones(total, dtype=np.int8), indices, indptr),
+                shape=(rows, n_domains),
+            )
+            matrix.sort_indices()
+            return matrix
+
+        return cls(
+            n_toots=arrays.n_toots,
+            domains=tuple(arrays.domains),
+            shard_size=shard_size,
+            assemble=assemble,
+        )
+
+    @classmethod
+    def from_incidence(
+        cls, incidence: TootIncidence, shard_size: int
+    ) -> "ShardedIncidence":
+        """Shard an already-built incidence matrix by row range.
+
+        The incidence memory is already paid here; sharding still caps
+        the *evaluation* working set per shard and enables the threaded
+        path.  Shard CSR structures are zero-copy views over the parent
+        matrix's ``indices``/``data`` plus a rebased ``indptr``.
+        """
+        matrix = incidence.matrix
+        indptr = matrix.indptr
+
+        def assemble(start: int, stop: int) -> sparse.csr_matrix:
+            lo, hi = int(indptr[start]), int(indptr[stop])
+            shard = sparse.csr_matrix(
+                (matrix.data[lo:hi], matrix.indices[lo:hi], indptr[start : stop + 1] - lo),
+                shape=(stop - start, matrix.shape[1]),
+                copy=False,
+            )
+            return shard
+
+        sharded = cls(
+            n_toots=incidence.n_toots,
+            domains=incidence.domains,
+            shard_size=shard_size,
+            assemble=assemble,
+        )
+        sharded._lookup = incidence.lookup
+        return sharded
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def n_domains(self) -> int:
+        return len(self.domains)
+
+    @property
+    def n_shards(self) -> int:
+        return (self.n_toots + self.shard_size - 1) // self.shard_size
+
+    @property
+    def lookup(self) -> DomainLookup:
+        """The vectorised domain resolver shared by every shard."""
+        if self._lookup is None:
+            self._lookup = DomainLookup(self.domains)
+        return self._lookup
+
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` toot range of every shard, in order.
+
+        The final shard is ragged whenever ``shard_size`` does not
+        divide ``n_toots``.
+        """
+        edges = list(range(0, self.n_toots, self.shard_size)) + [self.n_toots]
+        return list(zip(edges[:-1], edges[1:]))
+
+    def shard(self, start: int, stop: int) -> IncidenceShard:
+        """Assemble the shard covering toots ``[start, stop)``."""
+        if not 0 <= start < stop <= self.n_toots:
+            raise AnalysisError(
+                f"shard range [{start}, {stop}) falls outside 0..{self.n_toots}"
+            )
+        return IncidenceShard(start=start, stop=stop, matrix=self._assemble(start, stop))
+
+    def shards(self) -> Iterator[IncidenceShard]:
+        """Lazily assemble every shard in toot order (generator)."""
+        for start, stop in self.shard_bounds():
+            yield self.shard(start, stop)
+
+    # -- per-domain vectors (identical to the unsharded incidence) ------------
+
+    def removal_vector(self, removal_index: Mapping[str, int], steps: int) -> np.ndarray:
+        """Per-domain removal steps (see :meth:`TootIncidence.removal_vector`)."""
+        return self.lookup.removal_vector(removal_index, steps)
+
+    def as_assignment(self, asn_of_instance: Mapping[str, int]) -> np.ndarray:
+        """Instance→AS assignment vector (see :meth:`TootIncidence.as_assignment`)."""
+        return self.lookup.as_assignment(asn_of_instance)
+
+
+# -- streaming evaluation ---------------------------------------------------------
+
+
+def streaming_losses(
+    sharded: ShardedIncidence,
+    removal_matrix: np.ndarray,
+    steps_per_schedule: np.ndarray,
+    *,
+    workers: int | None = None,
+) -> np.ndarray:
+    """Accumulate per-(schedule, step) loss counts across every shard.
+
+    Each shard contributes one small ``(k, max_steps + 1)`` int64 loss
+    table (:func:`~repro.engine.kernels.losses_per_step_batch` over the
+    shard's rows); tables are integer counts over disjoint toot ranges,
+    so their sum equals the unsharded table exactly — no floating-point
+    reassociation anywhere.
+
+    ``workers > 1`` evaluates shards on a thread pool (the numpy
+    gather/``reduceat`` kernels release the GIL); results are folded in
+    shard order as they are submitted, so the accumulated table — and
+    every curve derived from it — is deterministic and bit-identical
+    regardless of thread scheduling.  Peak memory holds at most
+    ``workers`` assembled shards at once.
+    """
+    removal_matrix = np.asarray(removal_matrix, dtype=np.float64)
+    if removal_matrix.ndim != 2:
+        raise AnalysisError("removal_matrix must be 2-D (n_domains, k)")
+    steps = np.asarray(steps_per_schedule, dtype=np.int64)
+    n_schedules = removal_matrix.shape[1]
+    if steps.shape != (n_schedules,):
+        raise AnalysisError("steps_per_schedule must give one length per schedule")
+    max_steps = int(steps.max()) if n_schedules else 0
+    losses = np.zeros((n_schedules, max_steps + 1), dtype=np.int64)
+
+    def evaluate(bounds: tuple[int, int]) -> np.ndarray:
+        shard = sharded.shard(*bounds)
+        return losses_per_step_batch(shard.matrix, removal_matrix, steps)
+
+    bounds = sharded.shard_bounds()
+    if workers is not None and workers > 1 and len(bounds) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # executor.map yields in submission order: a fixed, shard-ordered
+            # fold no matter which thread finishes first
+            for table in pool.map(evaluate, bounds):
+                losses += table
+    else:
+        for shard_bounds in bounds:
+            losses += evaluate(shard_bounds)
+    return losses
+
+
+def sharded_availability_curves(
+    sharded: ShardedIncidence,
+    removal_matrix: np.ndarray,
+    steps_per_schedule: np.ndarray,
+    *,
+    workers: int | None = None,
+) -> list[np.ndarray]:
+    """Availability curves over shards — the streaming counterpart of
+    :func:`~repro.engine.kernels.availability_curves_batch`.
+
+    The ``(n_toots, k)`` kill matrix never exists: each curve is rebuilt
+    from the accumulated loss table and the corpus size, so the output
+    is bit-identical to the unsharded batch for any shard size.
+    """
+    steps = np.asarray(steps_per_schedule, dtype=np.int64)
+    losses = streaming_losses(sharded, removal_matrix, steps, workers=workers)
+    return curves_from_loss_table(losses, steps, sharded.n_toots)

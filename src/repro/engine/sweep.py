@@ -14,6 +14,15 @@ Incidence matrices are memoised per placement map
 (:meth:`TootIncidence.from_placements`), so repeated
 :func:`availability_curves` calls on the same :class:`PlacementMap` —
 across sweeps, wrappers, or ad-hoc experiments — rebuild nothing.
+
+Past a million toots the full incidence matrix itself becomes the
+memory ceiling, so :func:`availability_curves` and
+:func:`run_availability_sweep` take ``shard_size`` / ``workers`` knobs:
+arrays-backed placements are then evaluated shard by shard through
+:mod:`repro.engine.sharding` (bit-identical curves, O(shard) peak
+memory, optional thread-parallel shards).  Corpora at or above
+:data:`~repro.engine.sharding.AUTO_SHARD_THRESHOLD` toots shard
+automatically; ``shard_size=0`` forces the monolithic path.
 """
 
 from __future__ import annotations
@@ -34,6 +43,12 @@ from repro.core.replication import (
 from repro.engine.failures import FailureModel
 from repro.engine.incidence import TootIncidence
 from repro.engine.kernels import availability_curves_batch
+from repro.engine.sharding import (
+    AUTO_SHARD_THRESHOLD,
+    DEFAULT_SHARD_SIZE,
+    ShardedIncidence,
+    sharded_availability_curves,
+)
 
 
 def _to_points(curve: np.ndarray) -> list[AvailabilityPoint]:
@@ -44,34 +59,108 @@ def _to_points(curve: np.ndarray) -> list[AvailabilityPoint]:
 
 
 def availability_curve(
-    placements: PlacementMap | TootIncidence, failure: FailureModel
+    placements: PlacementMap | TootIncidence | ShardedIncidence,
+    failure: FailureModel,
+    *,
+    shard_size: int | None = None,
+    workers: int | None = None,
 ) -> list[AvailabilityPoint]:
     """One availability curve for one placement map and one failure model."""
-    return availability_curves(placements, [failure])[failure.name]
+    curves = availability_curves(
+        placements, [failure], shard_size=shard_size, workers=workers
+    )
+    return curves[failure.name]
 
 
-def availability_curves(
-    placements: PlacementMap | TootIncidence, failures: Sequence[FailureModel]
-) -> dict[str, list[AvailabilityPoint]]:
-    """Curves for many failure models over one shared incidence matrix."""
-    if not failures:
-        raise AnalysisError("need at least one failure model")
-    names = [failure.name for failure in failures]
-    if len(set(names)) != len(names):
-        raise AnalysisError("failure models must have distinct names")
+def _resolve_sharding(
+    placements: PlacementMap | TootIncidence | ShardedIncidence,
+    shard_size: int | None,
+    workers: int | None,
+) -> ShardedIncidence | None:
+    """Decide whether — and over what backing store — to shard.
+
+    ``shard_size=None`` is automatic: arrays-backed corpora at or above
+    :data:`AUTO_SHARD_THRESHOLD` toots shard at :data:`DEFAULT_SHARD_SIZE`,
+    as does any request for ``workers > 1`` (parallelism needs shards).
+    ``shard_size=0`` opts out entirely; any other explicit size forces
+    sharding.  Arrays-backed placements shard without ever building the
+    full incidence matrix; built matrices and dict-backed maps shard by
+    row-range views.
+    """
+    if isinstance(placements, ShardedIncidence):
+        return placements
+    if shard_size is not None and shard_size < 0:
+        raise AnalysisError("shard_size must be a positive number of toots (or 0)")
+    if shard_size == 0:
+        if workers is not None and workers > 1:
+            raise AnalysisError(
+                "workers > 1 needs shards to parallelise over — "
+                "drop shard_size=0 or the workers request"
+            )
+        return None
+    arrays = (
+        None
+        if isinstance(placements, TootIncidence)
+        else getattr(placements, "arrays", None)
+    )
+    if shard_size is None:
+        auto_shard = (
+            arrays is not None and arrays.n_toots >= AUTO_SHARD_THRESHOLD
+        ) or (workers is not None and workers > 1)
+        if not auto_shard:
+            return None
+        shard_size = DEFAULT_SHARD_SIZE
+    if arrays is not None:
+        return ShardedIncidence.from_arrays(arrays, shard_size)
     incidence = (
         placements
         if isinstance(placements, TootIncidence)
         else TootIncidence.from_placements(placements)
     )
+    return ShardedIncidence.from_incidence(incidence, shard_size)
+
+
+def availability_curves(
+    placements: PlacementMap | TootIncidence | ShardedIncidence,
+    failures: Sequence[FailureModel],
+    *,
+    shard_size: int | None = None,
+    workers: int | None = None,
+) -> dict[str, list[AvailabilityPoint]]:
+    """Curves for many failure models over one shared incidence matrix.
+
+    ``shard_size`` / ``workers`` route the evaluation through the
+    streaming sharded engine (:mod:`repro.engine.sharding`); the curves
+    are bit-identical either way, so the knobs trade peak memory and
+    wall time only.
+    """
+    if not failures:
+        raise AnalysisError("need at least one failure model")
+    names = [failure.name for failure in failures]
+    if len(set(names)) != len(names):
+        raise AnalysisError("failure models must have distinct names")
     steps = np.asarray([failure.effective_steps() for failure in failures], dtype=np.int64)
+    sharded = _resolve_sharding(placements, shard_size, workers)
+    if sharded is not None:
+        target: ShardedIncidence | TootIncidence = sharded
+    else:
+        target = (
+            placements
+            if isinstance(placements, TootIncidence)
+            else TootIncidence.from_placements(placements)
+        )
     removal_matrix = np.column_stack(
         [
-            incidence.removal_vector(failure.removal_index(), int(steps[j]))
+            target.removal_vector(failure.removal_index(), int(steps[j]))
             for j, failure in enumerate(failures)
         ]
     )
-    curves = availability_curves_batch(incidence.matrix, removal_matrix, steps)
+    if sharded is not None:
+        curves = sharded_availability_curves(
+            sharded, removal_matrix, steps, workers=workers
+        )
+    else:
+        curves = availability_curves_batch(target.matrix, removal_matrix, steps)
     return {name: _to_points(curve) for name, curve in zip(names, curves)}
 
 
@@ -195,13 +284,18 @@ def run_availability_sweep(
     graphs: "GraphDataset | None" = None,
     candidate_domains: Sequence[str] | None = None,
     keep_placements: bool = False,
+    shard_size: int | None = None,
+    workers: int | None = None,
 ) -> SweepResult:
     """Evaluate every (strategy, failure) combination in one call.
 
     Builds each strategy's placement map and incidence matrix once, then
     batch-evaluates all failure schedules against it.  Random strategies
     carry their own seeds, so a seed sweep is just more
-    :class:`StrategySpec` entries.
+    :class:`StrategySpec` entries.  ``shard_size`` / ``workers`` stream
+    each strategy's evaluation through the sharded engine (automatic at
+    :data:`~repro.engine.sharding.AUTO_SHARD_THRESHOLD` toots) — same
+    curves, bounded memory.
     """
     if not strategies:
         raise AnalysisError("need at least one placement strategy")
@@ -214,8 +308,10 @@ def run_availability_sweep(
         placements = spec.build(toots, graphs=graphs, candidate_domains=candidate_domains)
         if keep_placements:
             placements_by_name[spec.name] = placements
-        incidence = TootIncidence.from_placements(placements)
-        for failure_name, curve in availability_curves(incidence, failures).items():
+        strategy_curves = availability_curves(
+            placements, failures, shard_size=shard_size, workers=workers
+        )
+        for failure_name, curve in strategy_curves.items():
             curves[(spec.name, failure_name)] = curve
     return SweepResult(
         curves=curves,

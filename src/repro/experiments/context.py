@@ -47,6 +47,8 @@ class ExperimentContext:
         twitter_days: int = 300,
         twitter_users: int = 4_000,
         twitter_seed: int = 2007,
+        shard_size: int | None = None,
+        workers: int | None = None,
     ) -> None:
         self.preset = preset
         self.seed = seed
@@ -54,6 +56,10 @@ class ExperimentContext:
         self.twitter_days = twitter_days
         self.twitter_users = twitter_users
         self.twitter_seed = twitter_seed
+        #: Streaming-evaluation knobs forwarded to every sweep (None =
+        #: automatic: shard past the engine's corpus-size threshold).
+        self.shard_size = shard_size
+        self.workers = workers
         #: How many times each expensive builder actually ran.
         self.counters: dict[str, int] = {
             "build_scenario": 0,
@@ -237,7 +243,10 @@ class ExperimentContext:
         :func:`repro.engine.sweep.run_availability_sweep`: placement maps
         come from :meth:`placements_for`, so repeated sweeps sharing a
         strategy also share its incidence matrix via the engine's weak
-        per-map cache.
+        per-map cache.  The context's ``shard_size`` / ``workers`` knobs
+        are forwarded to every evaluation, so large presets stream
+        through the sharded engine instead of materialising full
+        matrices.
         """
         if not strategies:
             raise AnalysisError("need at least one placement strategy")
@@ -250,7 +259,10 @@ class ExperimentContext:
             placements = self.placements_for(spec)
             if keep_placements:
                 placements_by_name[spec.name] = placements
-            for failure_name, curve in availability_curves(placements, failures).items():
+            strategy_curves = availability_curves(
+                placements, failures, shard_size=self.shard_size, workers=self.workers
+            )
+            for failure_name, curve in strategy_curves.items():
                 curves[(spec.name, failure_name)] = curve
         return SweepResult(
             curves=curves,
@@ -263,8 +275,13 @@ class ExperimentContext:
 
     def run_metadata(self) -> Mapping[str, object]:
         """The scenario parameters stamped into every result's metadata."""
-        return {
+        metadata: dict[str, object] = {
             "preset": self.preset,
             "seed": self.seed,
             "monitor_interval_minutes": self.monitor_interval_minutes,
         }
+        if self.shard_size is not None:
+            metadata["shard_size"] = self.shard_size
+        if self.workers is not None:
+            metadata["workers"] = self.workers
+        return metadata

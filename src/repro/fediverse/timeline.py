@@ -8,7 +8,7 @@ single :class:`Timeline` class with exactly that paging behaviour.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Iterator
 
 from repro.fediverse.entities import Toot
@@ -69,10 +69,15 @@ class Timeline:
         """
         if limit <= 0:
             return []
+        # the list is id-sorted, so the page boundary is a binary search —
+        # paging a whole timeline stays O(T log T), not O(T^2 / limit)
+        if max_id is None:
+            stop = len(self._toots)
+        else:
+            stop = bisect_left(self._toots, max_id, key=lambda t: t.toot_id)
         results: list[Toot] = []
-        for toot in reversed(self._toots):
-            if max_id is not None and toot.toot_id >= max_id:
-                continue
+        for index in range(stop - 1, -1, -1):
+            toot = self._toots[index]
             if public_only and not toot.is_public:
                 continue
             results.append(toot)

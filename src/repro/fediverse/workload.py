@@ -348,6 +348,29 @@ class ScenarioConfig:
             mean_follows_per_user=11.0,
         )
 
+    @classmethod
+    def large(cls, seed: int = 7) -> "ScenarioConfig":
+        """A 1M+-toot scenario for the sharded streaming engine.
+
+        Built from :meth:`medium` via :meth:`scaled` (2× population),
+        with the toot rate boosted on top and the instance count held
+        near medium's: toots are the axis the availability engine scales
+        along, while every extra instance lengthens every *other*
+        instance's federated timeline — the crawl volume grows with
+        instances × timeline length — and users drive the memory-hungry
+        follower graph.  A paper-scale-pointing corpus therefore wants
+        many toots over a moderately larger population.  Drive the
+        sweeps with sharded evaluation (``--shard-size``/``--workers``):
+        the point of this preset is that evaluation no longer needs the
+        whole corpus in memory at once.
+        """
+        return replace(
+            cls.medium(seed=seed).scaled(2.0),
+            label="large",
+            n_instances=500,
+            mean_toots_per_user=34.0,
+        )
+
     def scaled(self, factor: float) -> "ScenarioConfig":
         """Return a copy with population sizes multiplied by ``factor``."""
         if factor <= 0:
@@ -961,12 +984,14 @@ class ScenarioGenerator:
 def build_scenario(preset: str = "small", seed: int = 7) -> FediverseNetwork:
     """Build a ready-to-analyse fediverse using a named preset.
 
-    ``preset`` is one of ``"tiny"``, ``"small"`` or ``"medium"``.
+    ``preset`` is one of ``"tiny"``, ``"small"``, ``"medium"`` or
+    ``"large"`` (the 1M+-toot corpus for sharded evaluation).
     """
     presets = {
         "tiny": ScenarioConfig.tiny,
         "small": ScenarioConfig.small,
         "medium": ScenarioConfig.medium,
+        "large": ScenarioConfig.large,
     }
     try:
         config = presets[preset](seed=seed)

@@ -1,0 +1,273 @@
+"""Differential suite for the sharded streaming engine.
+
+Sharded evaluation must be **bit-identical** to the monolithic path for
+every shard size — the composition law (per-step losses are additive
+integer counts across toot ranges) admits no tolerance.  The grid here
+crosses shard sizes {1, a prime, n_toots, n_toots + 7} (the prime forces
+a ragged tail shard) with every placement backend — no-replication,
+unweighted and weighted random, subscription, and dict-backed maps — and
+the ``workers > 1`` thread path, which must be deterministic under any
+thread scheduling because the loss tables are folded in shard order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import replication
+from repro.engine import (
+    ASRemoval,
+    InstanceRemoval,
+    ShardedIncidence,
+    TootIncidence,
+    availability_curves,
+    kill_steps_batch,
+    losses_per_step,
+    run_availability_sweep,
+    streaming_losses,
+)
+from repro.engine.sweep import StrategySpec
+from repro.errors import AnalysisError
+
+from tests.engine.test_equivalence import random_scenario
+from tests.engine.test_placement import flat_toots
+
+N_TOOTS = 97
+PRIME_SHARD = 13  # 97 = 7 * 13 + 6: ragged tail shard of 6 toots
+SHARD_SIZES = (1, PRIME_SHARD, N_TOOTS, N_TOOTS + 7)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One small corpus shared by the grid: toots, domains, weights, failures."""
+    domains = [f"d{i}.example" for i in range(17)]
+    toots = flat_toots(N_TOOTS, domains, seed=5)
+    rng = np.random.default_rng(5)
+    weights = {domain: float(w) for domain, w in zip(domains, rng.random(len(domains)) + 0.05)}
+    asn_of = {domain: int(asn) for domain, asn in zip(domains, rng.integers(1, 6, len(domains)))}
+    failures = [
+        InstanceRemoval(domains, steps=10, name="forward"),
+        InstanceRemoval(domains[::-1], steps=17, name="reverse"),
+        ASRemoval(asn_of, sorted(set(asn_of.values())), steps=4, name="ases"),
+    ]
+    return toots, domains, weights, failures
+
+
+def backends(corpus):
+    """Every placement backend the engine supports, freshly built."""
+    toots, domains, weights, _ = corpus
+    return {
+        "no-rep": replication.no_replication(toots),
+        "random": replication.random_replication(toots, domains, 3, seed=2),
+        "weighted-random": replication.random_replication(
+            toots, domains, 3, seed=2, weights=weights
+        ),
+    }
+
+
+# -- shard geometry ---------------------------------------------------------------
+
+
+class TestShardGeometry:
+    def test_bounds_partition_the_corpus(self, corpus):
+        toots, domains, _, _ = corpus
+        arrays = replication.no_replication(toots).arrays
+        for shard_size in SHARD_SIZES:
+            sharded = ShardedIncidence.from_arrays(arrays, shard_size)
+            bounds = sharded.shard_bounds()
+            assert bounds[0][0] == 0 and bounds[-1][1] == N_TOOTS
+            assert all(a < b for a, b in bounds)
+            assert all(prev[1] == cur[0] for prev, cur in zip(bounds, bounds[1:]))
+            assert sharded.n_shards == len(bounds) == -(-N_TOOTS // shard_size)
+
+    def test_prime_shard_size_leaves_ragged_tail(self, corpus):
+        toots, _, _, _ = corpus
+        arrays = replication.no_replication(toots).arrays
+        sharded = ShardedIncidence.from_arrays(arrays, PRIME_SHARD)
+        *full, tail = [stop - start for start, stop in sharded.shard_bounds()]
+        assert set(full) == {PRIME_SHARD}
+        assert tail == N_TOOTS % PRIME_SHARD
+
+    def test_shards_reassemble_the_full_matrix(self, corpus):
+        toots, domains, _, _ = corpus
+        placements = replication.random_replication(toots, domains, 2, seed=9)
+        full = TootIncidence.from_placements(placements)
+        sharded = ShardedIncidence.from_arrays(placements.arrays, PRIME_SHARD)
+        from scipy import sparse
+
+        stacked = sparse.vstack([shard.matrix for shard in sharded.shards()], format="csr")
+        assert (stacked != full.matrix).nnz == 0
+
+    def test_invalid_geometry_raises(self, corpus):
+        toots, _, _, _ = corpus
+        arrays = replication.no_replication(toots).arrays
+        with pytest.raises(AnalysisError):
+            ShardedIncidence.from_arrays(arrays, 0)
+        sharded = ShardedIncidence.from_arrays(arrays, PRIME_SHARD)
+        with pytest.raises(AnalysisError):
+            sharded.shard(-1, 5)
+        with pytest.raises(AnalysisError):
+            sharded.shard(0, N_TOOTS + 1)
+
+
+# -- differential grid: sharded == unsharded, bit for bit -------------------------
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("shard_size", SHARD_SIZES)
+    def test_every_backend_matches_unsharded(self, corpus, shard_size):
+        _, _, _, failures = corpus
+        for label, placements in backends(corpus).items():
+            expected = availability_curves(placements, failures, shard_size=0)
+            got = availability_curves(placements, failures, shard_size=shard_size)
+            assert got == expected, (label, shard_size)
+
+    @pytest.mark.parametrize("shard_size", SHARD_SIZES)
+    def test_subscription_backend_matches_unsharded(self, shard_size):
+        toots, graphs, domains, asn_of = random_scenario(3)
+        placements = replication.subscription_replication(toots, graphs)
+        failures = [
+            InstanceRemoval(domains, steps=min(10, len(domains)), name="rank"),
+            ASRemoval(asn_of, sorted(set(asn_of.values())), steps=3, name="ases"),
+        ]
+        expected = availability_curves(placements, failures, shard_size=0)
+        got = availability_curves(placements, failures, shard_size=shard_size)
+        assert got == expected
+
+    def test_dict_backed_map_shards_via_row_views(self, corpus):
+        _, _, _, failures = corpus
+        arrays_backed = backends(corpus)["random"]
+        dict_backed = replication.PlacementMap(
+            strategy="dict", placements=dict(arrays_backed.placements)
+        )
+        expected = availability_curves(dict_backed, failures)
+        got = availability_curves(dict_backed, failures, shard_size=PRIME_SHARD)
+        assert got == expected
+
+    def test_sweep_api_threads_the_knobs(self, corpus):
+        toots, domains, _, failures = corpus
+        strategies = [StrategySpec.none(), StrategySpec.random(2, seed=4)]
+        baseline = run_availability_sweep(
+            toots, strategies, failures, candidate_domains=domains
+        )
+        sharded = run_availability_sweep(
+            toots,
+            strategies,
+            failures,
+            candidate_domains=domains,
+            shard_size=PRIME_SHARD,
+            workers=2,
+        )
+        assert sharded.curves == baseline.curves
+
+
+# -- the parallel path: deterministic under thread scheduling ---------------------
+
+
+class TestWorkers:
+    @pytest.mark.parametrize("shard_size", (1, PRIME_SHARD))
+    def test_threaded_matches_serial_bit_identically(self, corpus, shard_size):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["weighted-random"]
+        serial = availability_curves(placements, failures, shard_size=shard_size)
+        for _ in range(5):  # five runs: thread scheduling must never matter
+            threaded = availability_curves(
+                placements, failures, shard_size=shard_size, workers=3
+            )
+            assert threaded == serial
+
+    def test_workers_alone_trigger_sharding(self, corpus, monkeypatch):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["random"]
+        expected = availability_curves(placements, failures, shard_size=0)
+
+        def forbidden(cls, maps):
+            raise AssertionError("workers>1 on an arrays backend must not build the full matrix")
+
+        monkeypatch.setattr(
+            TootIncidence, "from_placements", classmethod(forbidden)
+        )
+        got = availability_curves(placements, failures, workers=2)
+        assert got == expected
+
+
+# -- auto-shard threshold and knob validation -------------------------------------
+
+
+class TestResolution:
+    def test_auto_threshold_shards_without_full_incidence(self, corpus, monkeypatch):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["random"]
+        expected = availability_curves(placements, failures, shard_size=0)
+        monkeypatch.setattr("repro.engine.sweep.AUTO_SHARD_THRESHOLD", 50)
+        monkeypatch.setattr("repro.engine.sweep.DEFAULT_SHARD_SIZE", PRIME_SHARD)
+
+        def forbidden(cls, maps):
+            raise AssertionError("auto-sharding must not build the full matrix")
+
+        monkeypatch.setattr(TootIncidence, "from_placements", classmethod(forbidden))
+        got = availability_curves(placements, failures)
+        assert got == expected
+
+    def test_below_threshold_stays_monolithic(self, corpus):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["random"]
+        # default threshold is far above 97 toots: the memoised incidence
+        # cache must still be hit (object identity via from_placements)
+        availability_curves(placements, failures)
+        assert TootIncidence.from_placements(placements) is TootIncidence.from_placements(
+            placements
+        )
+
+    def test_negative_shard_size_raises(self, corpus):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["random"]
+        with pytest.raises(AnalysisError):
+            availability_curves(placements, failures, shard_size=-1)
+
+    def test_unsharded_with_workers_is_rejected(self, corpus):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["random"]
+        with pytest.raises(AnalysisError, match="workers > 1 needs shards"):
+            availability_curves(placements, failures, shard_size=0, workers=4)
+
+
+# -- streaming losses: the additive composition law -------------------------------
+
+
+class TestStreamingLosses:
+    def test_accumulated_losses_match_monolithic_kill_matrix(self, corpus):
+        _, _, _, failures = corpus
+        placements = backends(corpus)["weighted-random"]
+        incidence = TootIncidence.from_placements(placements)
+        steps = np.asarray([f.effective_steps() for f in failures], dtype=np.int64)
+        removal_matrix = np.column_stack(
+            [
+                incidence.removal_vector(failure.removal_index(), int(steps[j]))
+                for j, failure in enumerate(failures)
+            ]
+        )
+        kill = kill_steps_batch(incidence.matrix, removal_matrix)
+        sharded = ShardedIncidence.from_arrays(placements.arrays, PRIME_SHARD)
+        losses = streaming_losses(sharded, removal_matrix, steps)
+        assert losses.shape == (len(failures), int(steps.max()) + 1)
+        for j in range(len(failures)):
+            expected = losses_per_step(kill[:, j], int(steps[j]))
+            assert np.array_equal(losses[j, : int(steps[j]) + 1], expected)
+            assert not losses[j, int(steps[j]) + 1 :].any()
+
+    def test_domain_vectors_match_the_unsharded_incidence(self, corpus):
+        _, domains, _, _ = corpus
+        placements = backends(corpus)["random"]
+        incidence = TootIncidence.from_placements(placements)
+        sharded = ShardedIncidence.from_arrays(placements.arrays, PRIME_SHARD)
+        removal_index = {domains[0]: 1, domains[3]: 2, "unknown.example": 1, domains[5]: 99}
+        assert np.array_equal(
+            sharded.removal_vector(removal_index, steps=10),
+            incidence.removal_vector(removal_index, steps=10),
+        )
+        asn_of = {domains[0]: 64512, domains[4]: 64513, "unknown.example": 7}
+        assert np.array_equal(
+            sharded.as_assignment(asn_of), incidence.as_assignment(asn_of)
+        )

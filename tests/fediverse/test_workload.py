@@ -20,6 +20,16 @@ class TestScenarioConfig:
         assert tiny.n_instances < small.n_instances < medium.n_instances
         assert tiny.total_users < small.total_users < medium.total_users
 
+    def test_large_preset_targets_a_million_toots(self):
+        large = ScenarioConfig.large()
+        medium = ScenarioConfig.medium()
+        assert large.label == "large"
+        assert large.total_users == 2 * medium.total_users
+        assert large.total_toots_target >= 1_000_000
+        # toots scale harder than instances: the crawl volume grows with
+        # instances x federated-timeline length
+        assert large.n_instances < 2 * medium.n_instances
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             ScenarioConfig(n_instances=1)
