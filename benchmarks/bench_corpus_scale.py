@@ -1,0 +1,284 @@
+"""Columnar corpus vs the record-list path at the `large` preset (the PR 5 gate).
+
+The record path holds every *observation* of the crawl as a
+``TootRecord`` (~14M objects at the ``large`` preset before dedup), then
+dedups into ``TootsDataset`` and builds placements from record lists —
+several GiB of Python objects for a ~1M-toot corpus.  The columnar path
+(:mod:`repro.corpus`) encodes pages into integer column spools as they
+arrive, merges them into on-disk ``.npz`` shards, and builds the same
+placements straight from the columns.  This benchmark drives both paths
+over the same scenario in separate subprocesses and gates two claims:
+
+1. **identity** — the placement backends (no-replication and seeded
+   random replication) hash identically, so every availability curve
+   downstream is bit-identical;
+2. **memory** — peak RSS of the crawl+placement phase (measured via the
+   Linux ``/proc/self/clear_refs`` high-water-mark reset, so the
+   scenario network baseline is excluded) drops by at least 5×.
+
+It also reports corpus write/read throughput.  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_corpus_scale.py [--preset large]
+
+The default preset is ``large`` (~1M unique toots; the two subprocesses
+take a few minutes each and the record path needs ~7 GiB RAM).  Use
+``--preset medium`` for a quicker, smaller-footprint run of the same
+gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+PRESET = "large"
+SEED = 7
+N_REPLICAS = 3
+PLACEMENT_SEED = 7
+MIN_MEMORY_RATIO = 5.0
+
+
+# -- phase-scoped peak RSS ---------------------------------------------------------
+
+
+def _vm_kib(field: str) -> int | None:
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith(field):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _reset_peak_rss() -> bool:
+    """Reset the process RSS high-water mark (Linux ``clear_refs``)."""
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False
+
+
+def _placement_digest(arrays) -> str:
+    """One hash over everything that determines downstream curves."""
+    digest = hashlib.sha256()
+    digest.update(arrays.home.astype("int64").tobytes())
+    digest.update(arrays.replica_indices.astype("int64").tobytes())
+    digest.update(arrays.replica_indptr.astype("int64").tobytes())
+    digest.update("\n".join(arrays.domains).encode())
+    return digest.hexdigest()
+
+
+# -- the two phases (run in their own subprocesses) --------------------------------
+
+
+def run_phase(phase: str, preset: str) -> dict:
+    from repro import build_scenario
+    from repro.crawler import SimulatedTransport, TootCrawler
+
+    network = build_scenario(preset, seed=SEED)
+    transport = SimulatedTransport(network)
+    crawler = TootCrawler(transport, threads=8)
+    candidates = network.domains()
+
+    peak_scoped = _reset_peak_rss()
+    baseline_kib = _vm_kib("VmRSS:") or 0
+    measured: dict = {"phase": phase, "peak_is_phase_scoped": peak_scoped}
+
+    if phase == "legacy":
+        from repro.core.replication import no_replication, random_replication
+        from repro.datasets import TootsDataset
+
+        start = time.perf_counter()
+        toots = TootsDataset.from_crawl(crawler.crawl())
+        measured["crawl_seconds"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        placements = [
+            no_replication(toots).arrays,
+            random_replication(
+                toots, candidates, N_REPLICAS, seed=PLACEMENT_SEED
+            ).arrays,
+        ]
+        measured["placement_seconds"] = time.perf_counter() - start
+    else:
+        from repro.corpus import CorpusStore, CorpusWriter
+        from repro.engine.placement import PlacementArrays
+
+        corpus_dir = Path(tempfile.mkdtemp(prefix="bench-corpus-"))
+        writer = CorpusWriter(corpus_dir)
+        start = time.perf_counter()
+        result = crawler.crawl(sink=writer)
+        measured["crawl_seconds"] = time.perf_counter() - start
+        start = time.perf_counter()
+        store = writer.finalise(crawl_minute=result.crawl_minute)
+        measured["finalise_seconds"] = time.perf_counter() - start
+        measured["corpus_bytes"] = store.nbytes()
+        measured["n_shards"] = store.n_shards
+
+        start = time.perf_counter()
+        placements = [
+            PlacementArrays.from_corpus(store, "none"),
+            PlacementArrays.from_corpus(
+                store,
+                "random",
+                candidate_domains=candidates,
+                n_replicas=N_REPLICAS,
+                seed=PLACEMENT_SEED,
+            ),
+        ]
+        measured["placement_seconds"] = time.perf_counter() - start
+
+        # read throughput: one full pass over every column of every shard
+        start = time.perf_counter()
+        read_bytes = 0
+        for _, columns in store.iter_columns():
+            for name in ("url", "toot_id", "home_code", "author_code",
+                         "collected_code", "created_minute", "is_boost",
+                         "sensitive", "media_attachments", "favourites",
+                         "hashtag_codes", "hashtag_indptr"):
+                read_bytes += getattr(columns, name).nbytes
+        measured["read_seconds"] = time.perf_counter() - start
+        measured["read_bytes"] = read_bytes
+
+    peak_kib = _vm_kib("VmHWM:") or 0
+    measured["phase_peak_bytes"] = max(0, peak_kib - baseline_kib) * 1024
+    measured["n_toots"] = placements[0].n_toots
+    measured["digests"] = [_placement_digest(arrays) for arrays in placements]
+    if phase == "corpus":
+        shutil.rmtree(corpus_dir, ignore_errors=True)
+    return measured
+
+
+# -- driver ------------------------------------------------------------------------
+
+
+def _spawn(phase: str, preset: str) -> dict:
+    command = [
+        sys.executable, __file__, "--phase", phase, "--preset", preset,
+    ]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, check=False
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"{phase} phase failed:\n{completed.stdout}\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def run_comparison(preset: str = PRESET) -> dict:
+    legacy = _spawn("legacy", preset)
+    corpus = _spawn("corpus", preset)
+    assert legacy["n_toots"] == corpus["n_toots"], (
+        f"corpus dedup diverged: {legacy['n_toots']} vs {corpus['n_toots']} toots"
+    )
+    assert legacy["digests"] == corpus["digests"], (
+        "corpus-built placements are not bit-identical to the record path"
+    )
+    ratio = legacy["phase_peak_bytes"] / max(1, corpus["phase_peak_bytes"])
+    return {
+        "preset": preset,
+        "n_toots": legacy["n_toots"],
+        "legacy_peak_bytes": legacy["phase_peak_bytes"],
+        "corpus_peak_bytes": corpus["phase_peak_bytes"],
+        "memory_ratio": ratio,
+        "peak_is_phase_scoped": bool(
+            legacy["peak_is_phase_scoped"] and corpus["peak_is_phase_scoped"]
+        ),
+        "legacy_crawl_seconds": legacy["crawl_seconds"],
+        "legacy_placement_seconds": legacy["placement_seconds"],
+        "corpus_crawl_seconds": corpus["crawl_seconds"],
+        "corpus_finalise_seconds": corpus["finalise_seconds"],
+        "corpus_placement_seconds": corpus["placement_seconds"],
+        "corpus_bytes": corpus["corpus_bytes"],
+        "corpus_shards": corpus["n_shards"],
+        "write_mib_per_second": corpus["corpus_bytes"]
+        / 2**20
+        / (corpus["crawl_seconds"] + corpus["finalise_seconds"]),
+        "read_seconds": corpus["read_seconds"],
+        "read_mib_per_second": corpus["read_bytes"] / 2**20 / corpus["read_seconds"],
+    }
+
+
+def _assert_gates(measured: dict, min_ratio: float = MIN_MEMORY_RATIO) -> None:
+    if not measured["peak_is_phase_scoped"]:
+        print("  memory gate          : SKIPPED (no /proc/self/clear_refs — "
+              "phase-scoped peak RSS unavailable)")
+        return
+    assert measured["memory_ratio"] >= min_ratio, (
+        f"corpus peak-RSS gate: {measured['memory_ratio']:.1f}x < "
+        f"{min_ratio:.0f}x required"
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default=PRESET)
+    parser.add_argument("--phase", choices=("legacy", "corpus"), default=None)
+    parser.add_argument(
+        "--min-memory-ratio",
+        type=float,
+        default=MIN_MEMORY_RATIO,
+        help=(
+            "peak-RSS reduction the gate requires (default 5; the ratio is "
+            "baseline-dominated below the large preset, so smaller smoke runs "
+            "may lower it)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.phase is not None:
+        print(json.dumps(run_phase(args.phase, args.preset)))
+        return
+
+    measured = run_comparison(args.preset)
+    print(f"columnar corpus vs record lists — '{measured['preset']}' preset, "
+          f"{measured['n_toots']:,} unique toots")
+    print("  placements           : corpus == records bit-identically "
+          "(no-rep + seeded random)")
+    print(f"  record-path peak     : {measured['legacy_peak_bytes'] / 2**20:8.1f} MiB "
+          f"(crawl+dataset {measured['legacy_crawl_seconds']:.1f}s, "
+          f"placements {measured['legacy_placement_seconds']:.1f}s)")
+    print(f"  corpus-path peak     : {measured['corpus_peak_bytes'] / 2**20:8.1f} MiB "
+          f"(crawl {measured['corpus_crawl_seconds']:.1f}s, "
+          f"merge {measured['corpus_finalise_seconds']:.1f}s, "
+          f"placements {measured['corpus_placement_seconds']:.1f}s)")
+    print(f"  memory reduction     : {measured['memory_ratio']:8.1f}x "
+          f"(required >= {args.min_memory_ratio:.0f}x)")
+    print(f"  corpus on disk       : {measured['corpus_bytes'] / 2**20:8.1f} MiB "
+          f"in {measured['corpus_shards']} shard(s)")
+    print(f"  write throughput     : {measured['write_mib_per_second']:8.1f} MiB/s "
+          "(crawl + merge, end to end)")
+    print(f"  read throughput      : {measured['read_mib_per_second']:8.1f} MiB/s "
+          f"(full column pass in {measured['read_seconds']:.2f}s)")
+    _assert_gates(measured, args.min_memory_ratio)
+
+    try:
+        from benchmarks.perf_log import record
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from perf_log import record
+
+    path = record(
+        "corpus_scale",
+        {
+            "min_memory_ratio": args.min_memory_ratio,
+            **{key: round(value, 4) if isinstance(value, float) else value
+               for key, value in measured.items()},
+        },
+    )
+    print(f"  recorded             : {path}")
+
+
+if __name__ == "__main__":
+    main()

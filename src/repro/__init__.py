@@ -28,6 +28,8 @@ Quick start::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.fediverse import FediverseNetwork, ScenarioConfig, ScenarioGenerator, build_scenario
@@ -38,6 +40,9 @@ from repro.crawler import (
     TootCrawler,
 )
 from repro.datasets import GraphDataset, InstancesDataset, TootsDataset, TwitterBaselines
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus import CorpusStore
 
 __version__ = "1.0.0"
 
@@ -65,12 +70,18 @@ class CollectedDatasets:
     toots: TootsDataset
     graphs: GraphDataset
     network: FediverseNetwork
+    #: The columnar corpus behind ``toots`` when the crawl streamed to
+    #: disk (``collect_datasets(..., corpus_dir=...)``); ``None`` on the
+    #: in-memory record path.
+    corpus: "CorpusStore | None" = None
 
 
 def collect_datasets(
     network: FediverseNetwork,
     monitor_interval_minutes: int = 24 * 60,
     crawl_threads: int = 8,
+    corpus_dir: "str | Path | None" = None,
+    corpus_shard_size: int | None = None,
 ) -> CollectedDatasets:
     """Run the full measurement pipeline against a simulated fediverse.
 
@@ -82,6 +93,17 @@ def collect_datasets(
     ``monitor_interval_minutes`` defaults to daily probes (the paper used
     five minutes over fifteen months; the analyses only need the relative
     resolution, and daily probing keeps the default pipeline fast).
+
+    With ``corpus_dir``, the toot crawl streams page by page into a
+    columnar corpus at that directory (:mod:`repro.corpus`) instead of
+    building ``TootRecord`` lists: the returned ``toots`` dataset is
+    corpus-backed (aggregates from columns, records only on demand) and
+    ``corpus`` carries the opened store, so placement construction and
+    availability sweeps run straight from the on-disk columns.  A
+    directory that already holds a corpus manifest (a previous
+    ``collect``) is **reused** instead of re-crawled, after checking its
+    crawled instances belong to this scenario — collect once, run many.
+    ``corpus_shard_size`` overrides the default toots-per-shard split.
     """
     transport = SimulatedTransport(network)
     monitor = InstanceMonitor(transport, network.domains(), monitor_interval_minutes)
@@ -89,9 +111,35 @@ def collect_datasets(
     instances = InstancesDataset.build(network, log)
 
     toot_crawler = TootCrawler(transport, threads=crawl_threads)
-    toots = TootsDataset.from_crawl(toot_crawler.crawl())
+    corpus = None
+    if corpus_dir is None:
+        toots = TootsDataset.from_crawl(toot_crawler.crawl())
+    else:
+        from repro.corpus import DEFAULT_CORPUS_SHARD_SIZE, CorpusStore, CorpusWriter
+
+        if (Path(corpus_dir) / "manifest.json").exists():
+            corpus = CorpusStore(corpus_dir)
+            unknown = set(corpus.observations) - set(network.domains())
+            if unknown:
+                from repro.errors import DatasetError
+
+                raise DatasetError(
+                    f"the corpus at {corpus_dir} was crawled from a different "
+                    f"scenario ({len(unknown)} unknown instance domain(s), e.g. "
+                    f"{sorted(unknown)[0]!r}); point --corpus at a fresh directory"
+                )
+        else:
+            writer = CorpusWriter(
+                corpus_dir,
+                shard_size=corpus_shard_size or DEFAULT_CORPUS_SHARD_SIZE,
+            )
+            crawl = toot_crawler.crawl(sink=writer)
+            corpus = writer.finalise(crawl_minute=crawl.crawl_minute)
+        toots = TootsDataset.from_corpus(corpus)
 
     graph_crawler = FollowerGraphCrawler(transport, threads=crawl_threads)
     graphs = GraphDataset.from_crawl(graph_crawler.crawl())
 
-    return CollectedDatasets(instances=instances, toots=toots, graphs=graphs, network=network)
+    return CollectedDatasets(
+        instances=instances, toots=toots, graphs=graphs, network=network, corpus=corpus
+    )

@@ -1,33 +1,38 @@
 """Command-line interface for the reproduction toolkit.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     repro-mastodon scenario     --preset small --seed 7   # population summary
     repro-mastodon report       --preset tiny  --seed 7   # headline analyses
     repro-mastodon export OUT/  --preset tiny  --seed 7   # anonymised JSONL dump
+    repro-mastodon collect --corpus out/ --preset large   # stream crawl to columns
     repro-mastodon experiments                            # list every table/figure
     repro-mastodon run fig15 fig16 --preset small --seed 42 --json out/
     repro-mastodon run --all --preset tiny --seed 7       # the whole evaluation
-    repro-mastodon run fig15 fig16 --preset large --shard-size 100000 --workers 4
+    repro-mastodon run fig15 fig16 --preset large --corpus corpus/ --workers 4
 
 The CLI is a thin wrapper over the public API: ``run`` dispatches
 through :func:`repro.experiments.run_experiments` (one shared, memoised
 pipeline for any subset of the paper's experiments), ``report`` is a
 view over the same runners' headline scalars, and anything printed here
-can also be produced programmatically.
+can also be produced programmatically.  ``collect --corpus`` and ``run
+--corpus`` stream the toot crawl into the columnar corpus store
+(:mod:`repro.corpus`): same curves bit for bit, O(shard) instead of
+O(corpus) Python objects.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 from typing import Sequence
 
 from repro import build_scenario, collect_datasets
 from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
 from repro.datasets import Anonymiser, save_edges, save_snapshots, save_toot_records
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, DatasetError
 from repro.experiments import ExperimentContext, has_runner, run_experiments
 from repro.reporting import EXPERIMENTS, format_percentage, format_table
 
@@ -72,6 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(export)
     export.add_argument("--salt", default=None, help="anonymisation salt (random if omitted)")
     export.set_defaults(func=_command_export)
+
+    collect = subparsers.add_parser(
+        "collect",
+        help="run the measurement pipeline, streaming the crawl to a columnar corpus",
+        description=(
+            "Collect the paper's datasets and stream the toot crawl into the "
+            "columnar corpus store: integer-coded .npz shards plus a JSON "
+            "manifest that 'run --corpus' and PlacementArrays.from_corpus "
+            "build from directly."
+        ),
+    )
+    collect.add_argument(
+        "--corpus",
+        metavar="DIR",
+        required=True,
+        dest="corpus_dir",
+        help="directory to write the columnar corpus into",
+    )
+    collect.add_argument(
+        "--shard-toots",
+        type=int,
+        default=None,
+        metavar="N",
+        help="toots per corpus shard (default: the corpus writer's 250k)",
+    )
+    _add_scenario_arguments(collect)
+    collect.set_defaults(func=_command_collect)
 
     experiments = subparsers.add_parser(
         "experiments", help="list every reproducible table and figure"
@@ -121,6 +153,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="evaluate incidence shards on N threads (implies sharding for N > 1)",
+    )
+    run.add_argument(
+        "--corpus",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        dest="corpus_dir",
+        help=(
+            "stream the toot crawl into a columnar corpus and build placements "
+            "from its columns (bit-identical curves, O(shard) memory); with no "
+            "DIR the corpus lives in a temporary directory for the run"
+        ),
     )
     run.set_defaults(func=_command_run)
     return parser
@@ -191,6 +236,48 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_collect(args: argparse.Namespace) -> int:
+    if (Path(args.corpus_dir) / "manifest.json").exists():
+        print(
+            f"error: {args.corpus_dir} already holds a corpus manifest; "
+            "choose a fresh directory (or pass it to 'run --corpus' to reuse it)",
+            file=sys.stderr,
+        )
+        return 2
+    network = build_scenario(args.preset, seed=args.seed)
+    try:
+        data = collect_datasets(
+            network,
+            monitor_interval_minutes=args.monitor_interval,
+            corpus_dir=args.corpus_dir,
+            corpus_shard_size=args.shard_toots,
+        )
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    store = data.corpus
+    rows = [
+        ["unique toots", store.n_toots],
+        ["observations (pre-dedup)", store.n_observations],
+        ["shards", store.n_shards],
+        ["toots per shard", store.shard_size],
+        ["instance domains", int(store.domains.shape[0])],
+        ["authors", int(store.authors.shape[0])],
+        ["on-disk size (MiB)", round(store.nbytes() / 2**20, 1)],
+    ]
+    print(
+        format_table(
+            ["corpus", "value"],
+            rows,
+            title=f"Columnar corpus — '{args.preset}' scenario, seed {args.seed}",
+        )
+    )
+    print(f"wrote {store.n_shards} shard(s) + manifest to {store.path}/")
+    print(f"run experiments from it with: repro-mastodon run fig15 fig16 "
+          f"--preset {args.preset} --seed {args.seed} --corpus {store.path}")
+    return 0
+
+
 def _command_experiments(args: argparse.Namespace) -> int:
     rows = [
         [
@@ -223,18 +310,29 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    corpus_dir = args.corpus_dir
+    scratch_corpus = None
+    if corpus_dir == "":
+        scratch_corpus = tempfile.TemporaryDirectory(prefix="repro-corpus-")
+        corpus_dir = scratch_corpus.name
+        print(f"streaming the crawl to a temporary corpus at {corpus_dir}/")
+
     ctx = ExperimentContext(
         preset=args.preset,
         seed=args.seed,
         monitor_interval_minutes=args.monitor_interval,
         shard_size=args.shard_size,
         workers=args.workers,
+        corpus_dir=corpus_dir,
     )
     try:
         results = run_experiments(ids, ctx=ctx)
-    except AnalysisError as exc:
+    except (AnalysisError, DatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if scratch_corpus is not None:
+            scratch_corpus.cleanup()
 
     for result in results.values():
         print(result.render_text())

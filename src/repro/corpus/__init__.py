@@ -1,0 +1,60 @@
+"""The columnar corpus store: the crawl as integer-coded column shards.
+
+The paper's dataset is a 67M-toot de-duplicated union of every
+instance's federated timeline.  With the availability sweeps streaming
+(PR 4), the corpus itself — ``TootRecord`` lists held by
+``TootCrawlResult``, the dict-based dedup in ``unique_toots()``, and
+placement construction from record lists — became the memory/time
+ceiling: every observed toot existed as a Python object before a single
+placement array was built.  This package removes that ceiling by keeping
+the corpus columnar from the first crawled page onward:
+
+* :class:`CorpusWriter` — the streaming write path.  It sits behind
+  :class:`~repro.crawler.toot_crawler.TootCrawler` as a page sink:
+  crawled pages are encoded straight into per-instance column spools
+  (no ``TootRecord`` objects), spools seal to disk as each instance
+  completes, and ``finalise()`` merges them in sorted-domain order —
+  interning instance domains, author handles, hashtags, and toot URLs
+  (the URL intern table *is* the dedup, replacing the global
+  ``unique_toots()`` dict of records) — flushing fixed-size shards to
+  disk as ``.npz`` files under a small JSON manifest;
+* :class:`CorpusStore` — the read path.  Shards load lazily (one
+  ``.npz`` member at a time), so touching one column of one shard never
+  materialises anything else; :class:`TootColumns` is the per-shard
+  column bundle and :meth:`CorpusStore.urls` a corpus-wide lazy
+  URL sequence;
+* :mod:`repro.corpus.placement` — placement construction straight from
+  columns: :meth:`PlacementArrays.from_corpus
+  <repro.engine.placement.PlacementArrays.from_corpus>` builds home
+  codes and replica CSR arrays shard by shard, and the corpus shard
+  boundaries flow through to :class:`~repro.engine.sharding.ShardedIncidence`
+  so the sweep streams over exactly the shards the crawl wrote.
+
+The merge order (instances sorted by domain, pages in crawl order,
+first-seen URL wins) reproduces the legacy
+``TootCrawlResult.unique_toots()`` ordering exactly, which is what makes
+corpus-built placements — and every availability curve derived from
+them — bit-identical to the record-list path.
+"""
+
+from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
+from repro.corpus.store import CorpusStore, CorpusUrls
+from repro.corpus.writer import DEFAULT_CORPUS_SHARD_SIZE, CorpusWriter
+from repro.corpus.placement import (
+    build_no_replication_from_corpus,
+    build_random_replication_from_corpus,
+    build_subscription_replication_from_corpus,
+)
+
+__all__ = [
+    "COLUMN_NAMES",
+    "CORPUS_SCHEMA",
+    "CorpusStore",
+    "CorpusUrls",
+    "CorpusWriter",
+    "DEFAULT_CORPUS_SHARD_SIZE",
+    "TootColumns",
+    "build_no_replication_from_corpus",
+    "build_random_replication_from_corpus",
+    "build_subscription_replication_from_corpus",
+]

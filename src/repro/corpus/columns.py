@@ -1,0 +1,109 @@
+"""The corpus column schema: one integer/bool array per toot attribute.
+
+A corpus shard is one ``.npz`` file holding the columns of a contiguous
+toot range.  Strings appear exactly once, in the intern tables
+(``tables.npz``: domains, authors, hashtags) plus the per-shard URL
+column; everything else is integer or boolean, so a shard's placement
+inputs are a few flat arrays instead of a list of ``TootRecord``
+objects.  Hashtags are ragged and therefore stored CSR-style
+(``hashtag_codes`` + ``hashtag_indptr``), with the indptr local to the
+shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+#: Manifest schema tag — bumped on any incompatible layout change.
+CORPUS_SCHEMA = "repro.corpus/v1"
+
+#: Every column a shard must contain, with its storage dtype (``None``
+#: for the variable-width unicode URL column).
+COLUMN_DTYPES: dict[str, np.dtype | None] = {
+    "url": None,
+    "toot_id": np.dtype(np.int64),
+    "home_code": np.dtype(np.int32),
+    "author_code": np.dtype(np.int32),
+    "collected_code": np.dtype(np.int32),
+    "created_minute": np.dtype(np.int64),
+    "is_boost": np.dtype(np.bool_),
+    "sensitive": np.dtype(np.bool_),
+    "media_attachments": np.dtype(np.int32),
+    "favourites": np.dtype(np.int32),
+    "hashtag_codes": np.dtype(np.int32),
+    "hashtag_indptr": np.dtype(np.int64),
+}
+
+COLUMN_NAMES: tuple[str, ...] = tuple(COLUMN_DTYPES)
+
+
+@dataclass(frozen=True)
+class TootColumns:
+    """The columns of one contiguous toot range (usually one shard).
+
+    ``home_code``/``author_code``/``collected_code``/``hashtag_codes``
+    index into the corpus intern tables (domains, authors, hashtags);
+    ``hashtag_indptr`` is the local CSR pointer over ``hashtag_codes``
+    (length ``n_toots + 1``).
+    """
+
+    url: np.ndarray
+    toot_id: np.ndarray
+    home_code: np.ndarray
+    author_code: np.ndarray
+    collected_code: np.ndarray
+    created_minute: np.ndarray
+    is_boost: np.ndarray
+    sensitive: np.ndarray
+    media_attachments: np.ndarray
+    favourites: np.ndarray
+    hashtag_codes: np.ndarray
+    hashtag_indptr: np.ndarray
+
+    @property
+    def n_toots(self) -> int:
+        return self.home_code.shape[0]
+
+    @classmethod
+    def from_mapping(cls, arrays: Mapping[str, np.ndarray]) -> "TootColumns":
+        """Bundle loaded shard members, checking the schema."""
+        missing = [name for name in COLUMN_NAMES if name not in arrays]
+        if missing:
+            raise DatasetError(f"corpus shard is missing columns: {', '.join(missing)}")
+        columns = cls(**{name: np.asarray(arrays[name]) for name in COLUMN_NAMES})
+        columns.validate()
+        return columns
+
+    def validate(self) -> "TootColumns":
+        """Check cross-column shape invariants; returns self for chaining."""
+        n = self.n_toots
+        for name in COLUMN_NAMES:
+            if name in ("hashtag_codes", "hashtag_indptr"):
+                continue
+            if getattr(self, name).shape != (n,):
+                raise DatasetError(f"corpus column {name!r} has inconsistent length")
+        if self.hashtag_indptr.shape != (n + 1,):
+            raise DatasetError("hashtag_indptr must have one entry per toot plus one")
+        if n and self.hashtag_indptr[0] != 0:
+            raise DatasetError("hashtag_indptr must start at zero")
+        if int(self.hashtag_indptr[-1]) != self.hashtag_codes.shape[0]:
+            raise DatasetError("hashtag_indptr does not cover hashtag_codes")
+        if np.any(np.diff(self.hashtag_indptr) < 0):
+            raise DatasetError("hashtag_indptr must be non-decreasing")
+        return self
+
+    def hashtags_of(self, row: int, table: Sequence[str]) -> tuple[str, ...]:
+        """The hashtag strings of one toot, resolved against the intern table."""
+        lo, hi = int(self.hashtag_indptr[row]), int(self.hashtag_indptr[row + 1])
+        return tuple(table[code] for code in self.hashtag_codes[lo:hi])
+
+    def iter_hashtag_rows(self) -> Iterator[np.ndarray]:
+        """Per-toot hashtag code slices, in row order."""
+        indptr = self.hashtag_indptr
+        for row in range(self.n_toots):
+            yield self.hashtag_codes[indptr[row] : indptr[row + 1]]

@@ -1,0 +1,301 @@
+"""The corpus read path: lazy, zero-object access to column shards.
+
+:class:`CorpusStore` opens a corpus directory written by
+:class:`~repro.corpus.writer.CorpusWriter`, validates the manifest, and
+hands out columns on demand.  Shard ``.npz`` members load lazily — a
+request for one column of one shard reads exactly that member — so the
+working set of any shard-by-shard consumer is O(shard column), never
+O(corpus).  ``TootRecord`` objects are only ever materialised by the
+explicit compatibility iterators (:meth:`CorpusStore.iter_records`),
+which the scale paths never call.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
+
+_MANIFEST = "manifest.json"
+
+#: Manifest keys that must be present (and their JSON types).
+_REQUIRED_KEYS = {
+    "schema": str,
+    "shard_size": int,
+    "n_toots": int,
+    "n_observations": int,
+    "n_boosts": int,
+    "crawl_minute": int,
+    "columns": list,
+    "tables": str,
+    "shards": list,
+    "home_toot_counts": dict,
+    "observations": dict,
+}
+
+
+class CorpusStore:
+    """Read-side handle on a columnar corpus directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / _MANIFEST
+        if not manifest_path.exists():
+            raise DatasetError(f"no corpus manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise DatasetError(f"{manifest_path}: invalid JSON") from exc
+        self.manifest = self._validated(manifest)
+        self._tables: Any = None
+        self._cached_shard: tuple[int, Any] | None = None
+        self._observations: dict[str, tuple[int, int]] | None = None
+
+    # -- manifest validation ---------------------------------------------------
+
+    def _validated(self, manifest: Any) -> dict[str, Any]:
+        if not isinstance(manifest, dict):
+            raise DatasetError("corpus manifest must be a JSON object")
+        for key, expected in _REQUIRED_KEYS.items():
+            if key not in manifest:
+                raise DatasetError(f"corpus manifest is missing {key!r}")
+            if not isinstance(manifest[key], expected):
+                raise DatasetError(f"corpus manifest field {key!r} has the wrong type")
+        if manifest["schema"] != CORPUS_SCHEMA:
+            raise DatasetError(
+                f"unsupported corpus schema {manifest['schema']!r} "
+                f"(expected {CORPUS_SCHEMA!r})"
+            )
+        if list(manifest["columns"]) != list(COLUMN_NAMES):
+            raise DatasetError("corpus manifest declares an unexpected column set")
+        if not (self.path / manifest["tables"]).exists():
+            raise DatasetError(f"corpus tables file {manifest['tables']!r} is missing")
+        cursor = 0
+        for entry in manifest["shards"]:
+            if not isinstance(entry, dict) or {"file", "start", "stop"} - set(entry):
+                raise DatasetError("corpus shard entries need file/start/stop")
+            if entry["start"] != cursor or entry["stop"] <= entry["start"]:
+                raise DatasetError(
+                    f"corpus shard ranges must be contiguous from zero: "
+                    f"[{entry['start']}, {entry['stop']}) after {cursor}"
+                )
+            if not (self.path / entry["file"]).exists():
+                raise DatasetError(f"corpus shard file {entry['file']!r} is missing")
+            cursor = entry["stop"]
+        if cursor != manifest["n_toots"]:
+            raise DatasetError(
+                f"corpus shards cover {cursor} toots but the manifest "
+                f"declares {manifest['n_toots']}"
+            )
+        return manifest
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def n_toots(self) -> int:
+        return self.manifest["n_toots"]
+
+    @property
+    def n_observations(self) -> int:
+        return self.manifest["n_observations"]
+
+    @property
+    def n_boosts(self) -> int:
+        return self.manifest["n_boosts"]
+
+    @property
+    def crawl_minute(self) -> int:
+        return self.manifest["crawl_minute"]
+
+    @property
+    def shard_size(self) -> int:
+        return self.manifest["shard_size"]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.manifest["shards"])
+
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """The ``[start, stop)`` toot range of every shard, in order."""
+        return [(entry["start"], entry["stop"]) for entry in self.manifest["shards"]]
+
+    def nbytes(self) -> int:
+        """Total on-disk footprint (shards + tables + manifest)."""
+        names = [entry["file"] for entry in self.manifest["shards"]]
+        names += [self.manifest["tables"], _MANIFEST]
+        return sum((self.path / name).stat().st_size for name in names)
+
+    # -- intern tables ---------------------------------------------------------
+
+    def _table(self, name: str) -> np.ndarray:
+        if self._tables is None:
+            self._tables = np.load(self.path / self.manifest["tables"])
+        return self._tables[name]
+
+    @property
+    def domains(self) -> np.ndarray:
+        """Every instance domain seen by the crawl (intern order)."""
+        return self._table("domains")
+
+    @property
+    def authors(self) -> np.ndarray:
+        """Every author handle among the unique toots (intern order)."""
+        return self._table("authors")
+
+    @property
+    def hashtags(self) -> np.ndarray:
+        """Every hashtag among the unique toots (intern order)."""
+        return self._table("hashtags")
+
+    def replication_counts(self) -> np.ndarray:
+        """Observed remote copies per unique toot (aligned with toot index)."""
+        return self._table("replication_counts")
+
+    @property
+    def home_toot_counts(self) -> dict[str, int]:
+        """Home-toot count per authoring instance (unique toots only)."""
+        return dict(self.manifest["home_toot_counts"])
+
+    @property
+    def observations(self) -> dict[str, tuple[int, int]]:
+        """Per crawled instance: (home, remote) federated-timeline counts.
+
+        Built from the manifest once and cached (per-instance lookups —
+        ``timeline_composition`` over every instance — stay O(1)); treat
+        the returned dict as read-only.
+        """
+        if self._observations is None:
+            self._observations = {
+                domain: (int(counts[0]), int(counts[1]))
+                for domain, counts in self.manifest["observations"].items()
+            }
+        return self._observations
+
+    # -- shard access ----------------------------------------------------------
+
+    def _shard_file(self, index: int) -> Any:
+        """The (cached) lazy ``NpzFile`` handle of shard ``index``."""
+        if self._cached_shard is not None and self._cached_shard[0] == index:
+            return self._cached_shard[1]
+        entry = self.manifest["shards"][index]
+        handle = np.load(self.path / entry["file"])
+        self._cached_shard = (index, handle)
+        return handle
+
+    def shard_column(self, index: int, name: str) -> np.ndarray:
+        """One column of one shard (loads just that ``.npz`` member)."""
+        if name not in COLUMN_NAMES:
+            raise DatasetError(f"unknown corpus column {name!r}")
+        handle = self._shard_file(index)
+        if name not in handle.files:
+            raise DatasetError(
+                f"corpus shard {index} is missing columns: {name}"
+            )
+        return handle[name]
+
+    def shard_columns(self, index: int) -> TootColumns:
+        """Every column of one shard, bundled and validated."""
+        handle = self._shard_file(index)
+        available = set(handle.files)
+        return TootColumns.from_mapping(
+            {name: handle[name] for name in COLUMN_NAMES if name in available}
+        )
+
+    def iter_columns(self) -> Iterator[tuple[tuple[int, int], TootColumns]]:
+        """Stream ``((start, stop), columns)`` over every shard in order."""
+        for index, bounds in enumerate(self.shard_bounds()):
+            yield bounds, self.shard_columns(index)
+
+    def column(self, name: str) -> np.ndarray:
+        """One column concatenated across every shard (O(corpus column))."""
+        if self.n_shards == 0:
+            if name == "url":
+                return np.empty(0, dtype=np.str_)
+            from repro.corpus.columns import COLUMN_DTYPES
+
+            return np.empty(0, dtype=COLUMN_DTYPES[name] or np.str_)
+        parts = [self.shard_column(i, name) for i in range(self.n_shards)]
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def urls(self) -> "CorpusUrls":
+        """The corpus-wide toot-URL sequence, loaded shard by shard."""
+        return CorpusUrls(self)
+
+    # -- record compatibility --------------------------------------------------
+
+    def iter_records(self) -> Iterator["TootRecord"]:
+        """Materialise ``TootRecord`` objects, streaming shard by shard.
+
+        The compatibility escape hatch for the legacy record API
+        (:meth:`TootsDataset.from_corpus`); the scale paths never call
+        it.  Records reproduce every crawled field, hashtags included.
+        """
+        from repro.crawler.toot_crawler import TootRecord
+
+        domains = self.domains.tolist()
+        authors = self.authors.tolist()
+        hashtags = self.hashtags.tolist()
+        for _, columns in self.iter_columns():
+            urls = columns.url.tolist()
+            indptr = columns.hashtag_indptr
+            tag_codes = columns.hashtag_codes.tolist()
+            for row in range(columns.n_toots):
+                lo, hi = int(indptr[row]), int(indptr[row + 1])
+                yield TootRecord(
+                    toot_id=int(columns.toot_id[row]),
+                    url=urls[row],
+                    account=authors[columns.author_code[row]],
+                    author_domain=domains[columns.home_code[row]],
+                    collected_from=domains[columns.collected_code[row]],
+                    created_at=int(columns.created_minute[row]),
+                    hashtags=tuple(hashtags[code] for code in tag_codes[lo:hi]),
+                    media_attachments=int(columns.media_attachments[row]),
+                    favourites=int(columns.favourites[row]),
+                    is_boost=bool(columns.is_boost[row]),
+                    sensitive=bool(columns.sensitive[row]),
+                )
+
+
+class CorpusUrls(Sequence):
+    """A lazy, corpus-wide view of the toot URL column.
+
+    Satisfies the ``Sequence`` shape :class:`PlacementArrays` expects
+    for ``toot_urls`` without holding more than one shard's URLs at a
+    time; ``tuple(urls)`` (the incidence path) streams shard by shard.
+    """
+
+    def __init__(self, store: CorpusStore) -> None:
+        self._store = store
+        self._bounds = store.shard_bounds()
+        self._cache: tuple[int, list[str]] | None = None
+
+    def __len__(self) -> int:
+        return self._store.n_toots
+
+    def _shard_urls(self, index: int) -> list[str]:
+        if self._cache is not None and self._cache[0] == index:
+            return self._cache[1]
+        urls = self._store.shard_column(index, "url").tolist()
+        self._cache = (index, urls)
+        return urls
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(len(self)))]
+        if position < 0:
+            position += len(self)
+        if not 0 <= position < len(self):
+            raise IndexError(position)
+        for index, (start, stop) in enumerate(self._bounds):
+            if start <= position < stop:
+                return self._shard_urls(index)[position - start]
+        raise IndexError(position)  # pragma: no cover - bounds always partition
+
+    def __iter__(self) -> Iterator[str]:
+        for index in range(len(self._bounds)):
+            yield from self._shard_urls(index)

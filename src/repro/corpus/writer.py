@@ -1,0 +1,542 @@
+"""The streaming write path: crawl pages → column spools → corpus shards.
+
+:class:`CorpusWriter` is the page sink behind
+:class:`~repro.crawler.toot_crawler.TootCrawler`: each crawled page is
+encoded into per-instance column buffers the moment it arrives (no
+``TootRecord`` objects), each instance's buffers seal to a spool on
+disk when its crawl completes, and :meth:`CorpusWriter.finalise` merges
+the spools — instances in sorted-domain order, pages in crawl order,
+first-seen URL wins — into fixed-size ``.npz`` shards plus intern
+tables and a JSON manifest.  That merge order reproduces the legacy
+``TootCrawlResult.unique_toots()`` ordering exactly, so everything built
+from the corpus (placements, curves) is bit-identical to the
+record-list path.
+
+Memory model: while crawling, only the pages of in-flight instances are
+buffered (sealed spools live on disk); the merge streams each spool in
+bounded row chunks, so at any moment it holds one chunk of decoded
+strings, the URL intern table, and at most one pending shard of
+columns — the full corpus never exists in memory, as Python objects or
+otherwise.  Spools are a private format tuned for that: string columns
+are stored as newline-joined UTF-8 bytes plus an ``int64`` offset
+array (one ``.npy`` pair per column, written and freed one column at a
+time), which is ~4× smaller than numpy's fixed-width unicode arrays
+and sliceable by row range without decoding the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA
+
+#: Default toots per shard: aligned with the engine's streaming default
+#: (:data:`repro.engine.sharding.DEFAULT_SHARD_SIZE`) so corpus shard
+#: boundaries flow straight through to sweep evaluation.
+DEFAULT_CORPUS_SHARD_SIZE = 250_000
+
+#: Rows per merge chunk: bounds the decoded-string working set while
+#: keeping the per-chunk numpy/dict overhead amortised.
+_MERGE_CHUNK_ROWS = 200_000
+
+#: Spool/shard file names.
+_MANIFEST = "manifest.json"
+_TABLES = "tables.npz"
+_SPOOL_DIR = "spool"
+
+_SPOOL_VALUE_COLUMNS = (
+    "toot_id",
+    "created_minute",
+    "is_boost",
+    "sensitive",
+    "media_attachments",
+    "favourites",
+)
+
+
+def _string_array(values: list[str]) -> np.ndarray:
+    return np.asarray(values, dtype=np.str_) if values else np.empty(0, dtype=np.str_)
+
+
+def _write_strings(directory: Path, name: str, values: list[str]) -> None:
+    """Persist a string column as newline-joined UTF-8 bytes + offsets.
+
+    ``offsets`` has ``len(values) + 1`` entries; row ``i`` occupies
+    ``data[offsets[i] : offsets[i + 1] - 1]`` (the trailing byte is the
+    separator), so any row range decodes with one slice + split.
+    """
+    if not values:
+        np.save(directory / f"{name}_bytes.npy", np.empty(0, dtype=np.uint8))
+        np.save(directory / f"{name}_offsets.npy", np.zeros(1, dtype=np.int64))
+        return
+    data = np.frombuffer("\n".join(values).encode("utf-8"), dtype=np.uint8)
+    separators = np.flatnonzero(data == ord("\n"))
+    if separators.size != len(values) - 1:
+        raise DatasetError(f"corpus {name} values must not contain newlines")
+    offsets = np.empty(len(values) + 1, dtype=np.int64)
+    offsets[0] = 0
+    offsets[1:-1] = separators + 1
+    offsets[-1] = data.size + 1
+    np.save(directory / f"{name}_bytes.npy", data)
+    np.save(directory / f"{name}_offsets.npy", offsets)
+
+
+class _SpoolReader:
+    """Row-range access to one sealed spool without loading it whole."""
+
+    def __init__(self, directory: Path) -> None:
+        self._dir = directory
+        self._bytes: dict[str, np.ndarray] = {}
+        self._offsets: dict[str, np.ndarray] = {}
+        self.n_rows = int(self._offset_table("url").size - 1)
+
+    def _offset_table(self, name: str) -> np.ndarray:
+        if name not in self._offsets:
+            self._offsets[name] = np.load(self._dir / f"{name}_offsets.npy")
+        return self._offsets[name]
+
+    def strings(self, name: str, start: int, stop: int) -> list[str]:
+        """Decode rows ``[start, stop)`` of a string column."""
+        if stop <= start:
+            return []
+        offsets = self._offset_table(name)
+        if name not in self._bytes:
+            self._bytes[name] = np.load(self._dir / f"{name}_bytes.npy", mmap_mode="r")
+        blob = self._bytes[name][int(offsets[start]) : int(offsets[stop]) - 1]
+        parts = np.asarray(blob).tobytes().decode("utf-8").split("\n")
+        if len(parts) != stop - start:
+            raise DatasetError(f"corrupt spool string column {name!r} in {self._dir}")
+        return parts
+
+    def values(self, name: str) -> np.ndarray:
+        return np.load(self._dir / f"{name}.npy")
+
+
+class _Growable:
+    """An amortised-append int64 vector (replication / home-toot counts)."""
+
+    def __init__(self) -> None:
+        self._data = np.zeros(1024, dtype=np.int64)
+        self.size = 0
+
+    def ensure(self, size: int) -> None:
+        if size > self._data.size:
+            capacity = max(size, 2 * self._data.size)
+            grown = np.zeros(capacity, dtype=np.int64)
+            grown[: self.size] = self._data[: self.size]
+            self._data = grown
+        self.size = max(self.size, size)
+
+    def add_at(self, indices: np.ndarray) -> None:
+        np.add.at(self._data, indices, 1)
+
+    def values(self) -> np.ndarray:
+        return self._data[: self.size].copy()
+
+
+class _Interner:
+    """First-seen string interning."""
+
+    def __init__(self) -> None:
+        self.code: dict[str, int] = {}
+        self.values: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def intern_one(self, value: str) -> int:
+        known = self.code.get(value)
+        if known is None:
+            known = self.code[value] = len(self.values)
+            self.values.append(value)
+        return known
+
+
+class _InstanceSpool:
+    """Column buffers for one instance's federated-timeline crawl."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self.url: list[str] = []
+        self.account: list[str] = []
+        self.author_domain: list[str] = []
+        self.toot_id: list[int] = []
+        self.created_minute: list[int] = []
+        self.is_boost: list[bool] = []
+        self.sensitive: list[bool] = []
+        self.media_attachments: list[int] = []
+        self.favourites: list[int] = []
+        self.hashtag_flat: list[str] = []
+        self.hashtag_lengths: list[int] = []
+
+    def add_page(self, payload: Iterable[Mapping[str, Any]]) -> int:
+        """Encode one timeline-API page (the raw payload dicts)."""
+        added = 0
+        for item in payload:
+            self.url.append(str(item["url"]))
+            self.account.append(str(item["account"]))
+            self.author_domain.append(str(item["account_domain"]))
+            self.toot_id.append(int(item["id"]))
+            self.created_minute.append(int(item["created_at"]))
+            self.is_boost.append(item.get("reblog_of_id") is not None)
+            self.sensitive.append(bool(item.get("sensitive", False)))
+            self.media_attachments.append(int(item.get("media_attachments", 0)))
+            self.favourites.append(int(item.get("favourites_count", 0)))
+            tags = item.get("tags", ())
+            self.hashtag_flat.extend(str(tag) for tag in tags)
+            self.hashtag_lengths.append(len(tags))
+            added += 1
+        return added
+
+    def add_records(self, records: Iterable["TootRecord"]) -> int:
+        """Encode already-built :class:`TootRecord` objects (export paths)."""
+        added = 0
+        for record in records:
+            self.url.append(record.url)
+            self.account.append(record.account)
+            self.author_domain.append(record.author_domain)
+            self.toot_id.append(record.toot_id)
+            self.created_minute.append(record.created_at)
+            self.is_boost.append(record.is_boost)
+            self.sensitive.append(record.sensitive)
+            self.media_attachments.append(record.media_attachments)
+            self.favourites.append(record.favourites)
+            self.hashtag_flat.extend(record.hashtags)
+            self.hashtag_lengths.append(len(record.hashtags))
+            added += 1
+        return added
+
+    def seal(self, directory: Path) -> None:
+        """Write the buffers to a spool directory, one column at a time.
+
+        Each column's buffer is dropped as soon as it is on disk, so the
+        seal never holds more than one encoded column beyond the raw
+        page buffers.
+        """
+        directory.mkdir(parents=True, exist_ok=True)
+        dtypes = dict(
+            toot_id=np.int64,
+            created_minute=np.int64,
+            is_boost=np.bool_,
+            sensitive=np.bool_,
+            media_attachments=np.int32,
+            favourites=np.int32,
+        )
+        for name in _SPOOL_VALUE_COLUMNS:
+            np.save(directory / f"{name}.npy", np.asarray(getattr(self, name), dtypes[name]))
+            setattr(self, name, [])
+        indptr = np.zeros(len(self.hashtag_lengths) + 1, dtype=np.int64)
+        np.cumsum(self.hashtag_lengths, out=indptr[1:])
+        np.save(directory / "hashtag_indptr.npy", indptr)
+        self.hashtag_lengths = []
+        for name in ("url", "account", "author_domain", "hashtag_flat"):
+            _write_strings(directory, name, getattr(self, name))
+            setattr(self, name, [])
+
+
+class CorpusWriter:
+    """Streams a toot crawl into an integer-coded columnar corpus.
+
+    Use as the ``sink`` argument of :meth:`TootCrawler.crawl`; or feed it
+    directly via :meth:`add_page` / :meth:`add_records` +
+    :meth:`end_instance`, then :meth:`finalise` once every instance is
+    in.  Page/record ingestion is thread-safe at instance granularity
+    (each instance is crawled by exactly one worker).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        shard_size: int = DEFAULT_CORPUS_SHARD_SIZE,
+    ) -> None:
+        if shard_size < 1:
+            raise DatasetError("corpus shard_size must be a positive number of toots")
+        self.path = Path(path)
+        self.shard_size = shard_size
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._spool_dir = self.path / _SPOOL_DIR
+        self._spool_dir.mkdir(exist_ok=True)
+        self._lock = threading.Lock()
+        self._spools: dict[str, _InstanceSpool] = {}
+        self._sealed: dict[str, Path] = {}
+        self._finalised = False
+
+    # -- streaming ingestion ---------------------------------------------------
+
+    def _spool(self, domain: str) -> _InstanceSpool:
+        if self._finalised:
+            raise DatasetError("the corpus writer has already been finalised")
+        with self._lock:
+            spool = self._spools.get(domain)
+            if spool is None:
+                if domain in self._sealed:
+                    raise DatasetError(f"instance {domain!r} was already sealed")
+                spool = self._spools[domain] = _InstanceSpool(domain)
+            return spool
+
+    def add_page(self, domain: str, payload: Iterable[Mapping[str, Any]]) -> int:
+        """Encode one timeline page for ``domain``; returns toots added."""
+        return self._spool(domain).add_page(payload)
+
+    def add_records(self, domain: str, records: Iterable["TootRecord"]) -> int:
+        """Encode records observed on ``domain`` (non-crawler ingestion)."""
+        return self._spool(domain).add_records(records)
+
+    def end_instance(self, domain: str) -> None:
+        """Seal ``domain``'s spool to disk (its crawl completed cleanly).
+
+        An instance whose crawl completed without a single toot (an
+        empty federated timeline) is sealed as an empty spool, so it
+        still appears in the corpus observations with ``(0, 0)`` counts
+        — exactly like the record path's empty list.
+        """
+        if self._finalised:
+            raise DatasetError("the corpus writer has already been finalised")
+        with self._lock:
+            spool = self._spools.pop(domain, None)
+            if spool is None:
+                if domain in self._sealed:
+                    return
+                spool = _InstanceSpool(domain)
+            target = self._spool_dir / domain
+            self._sealed[domain] = target
+        spool.seal(target)
+
+    def discard_instance(self, domain: str) -> None:
+        """Drop everything buffered for ``domain`` (its crawl failed)."""
+        with self._lock:
+            self._spools.pop(domain, None)
+            sealed = self._sealed.pop(domain, None)
+        if sealed is not None:
+            shutil.rmtree(sealed, ignore_errors=True)
+
+    # -- the merge -------------------------------------------------------------
+
+    def finalise(self, crawl_minute: int = 0) -> "CorpusStore":
+        """Merge every sealed spool into shards + tables + manifest.
+
+        Instances merge in sorted-domain order with first-seen-URL
+        dedup, reproducing ``unique_toots()`` exactly; duplicates only
+        bump the replication counters.  Returns the opened
+        :class:`~repro.corpus.store.CorpusStore`.
+        """
+        if self._finalised:
+            raise DatasetError("the corpus writer has already been finalised")
+        with self._lock:
+            if self._spools:
+                unsealed = ", ".join(sorted(self._spools))
+                raise DatasetError(
+                    f"cannot finalise with open instance spools: {unsealed}"
+                )
+            self._finalised = True
+
+        url_code: dict[str, int] = {}
+        domains = _Interner()
+        authors = _Interner()
+        hashtags = _Interner()
+        replication = _Growable()
+        home_toots = _Growable()
+        observations: dict[str, tuple[int, int]] = {}
+        boosts = 0
+        observed_rows = 0
+
+        pending: dict[str, list[np.ndarray]] = {name: [] for name in COLUMN_NAMES}
+        pending_rows = 0
+        shards: list[dict[str, object]] = []
+        flushed_rows = 0
+
+        def flush(everything: bool = False) -> None:
+            nonlocal pending_rows, flushed_rows
+            while pending_rows >= self.shard_size or (everything and pending_rows):
+                take = min(self.shard_size, pending_rows)
+                shard_arrays = _take_shard(pending, take)
+                file_name = f"shard-{len(shards):05d}.npz"
+                np.savez(self.path / file_name, **shard_arrays)
+                shards.append(
+                    {"file": file_name, "start": flushed_rows, "stop": flushed_rows + take}
+                )
+                flushed_rows += take
+                pending_rows -= take
+
+        for domain in sorted(self._sealed):
+            spool = _SpoolReader(self._sealed[domain])
+            n_rows = spool.n_rows
+            observed_rows += n_rows
+            if n_rows == 0:
+                observations[domain] = (0, 0)
+                continue
+            collected = domains.intern_one(domain)
+            value_columns = {name: spool.values(name) for name in _SPOOL_VALUE_COLUMNS}
+            tag_indptr = spool.values("hashtag_indptr")
+            home_observed = 0
+
+            for start in range(0, n_rows, _MERGE_CHUNK_ROWS):
+                stop = min(start + _MERGE_CHUNK_ROWS, n_rows)
+                rows = stop - start
+                urls = spool.strings("url", start, stop)
+                author_domains = spool.strings("author_domain", start, stop)
+                home_mask = np.fromiter(
+                    (value == domain for value in author_domains), np.bool_, rows
+                )
+                home_observed += int(home_mask.sum())
+
+                # URL dedup: the intern table replaces unique_toots()
+                codes = np.empty(rows, dtype=np.int64)
+                new_mask = np.empty(rows, dtype=np.bool_)
+                next_code = len(url_code)
+                for i, url in enumerate(urls):
+                    known = url_code.get(url)
+                    if known is None:
+                        url_code[url] = known = next_code
+                        next_code += 1
+                        new_mask[i] = True
+                    else:
+                        new_mask[i] = False
+                    codes[i] = known
+                replication.ensure(next_code)
+                remote = ~home_mask
+                if remote.any():
+                    replication.add_at(codes[remote])
+                new_rows = np.flatnonzero(new_mask)
+                if not new_rows.size:
+                    continue
+                new_count = int(new_rows.size)
+
+                home_codes = np.fromiter(
+                    (domains.intern_one(author_domains[i]) for i in new_rows),
+                    np.int64,
+                    new_count,
+                )
+                accounts = spool.strings("account", start, stop)
+                author_codes = np.fromiter(
+                    (authors.intern_one(accounts[i]) for i in new_rows),
+                    np.int64,
+                    new_count,
+                )
+                del accounts, author_domains
+
+                # hashtags: decode the chunk's tag range, keep the new rows
+                chunk_ptr = tag_indptr[start : stop + 1]
+                tag_lo, tag_hi = int(chunk_ptr[0]), int(chunk_ptr[-1])
+                tags = spool.strings("hashtag_flat", tag_lo, tag_hi)
+                lengths = np.diff(chunk_ptr)[new_mask]
+                tag_starts = (chunk_ptr[:-1] - tag_lo)[new_mask]
+                flat_codes = np.fromiter(
+                    (
+                        hashtags.intern_one(tags[position])
+                        for row_start, row_length in zip(
+                            tag_starts.tolist(), lengths.tolist()
+                        )
+                        for position in range(row_start, row_start + row_length)
+                    ),
+                    np.int32,
+                    int(lengths.sum()),
+                )
+                del tags
+                local_indptr = np.zeros(new_count + 1, dtype=np.int64)
+                np.cumsum(lengths, out=local_indptr[1:])
+
+                home_toots.ensure(len(domains))
+                home_toots.add_at(home_codes)
+                is_boost = value_columns["is_boost"][start:stop][new_mask]
+                boosts += int(is_boost.sum())
+
+                pending["url"].append(_string_array([urls[i] for i in new_rows]))
+                pending["home_code"].append(home_codes.astype(np.int32))
+                pending["author_code"].append(author_codes.astype(np.int32))
+                pending["collected_code"].append(
+                    np.full(new_count, collected, dtype=np.int32)
+                )
+                pending["is_boost"].append(is_boost)
+                pending["hashtag_codes"].append(flat_codes)
+                pending["hashtag_indptr"].append(local_indptr)
+                for name in _SPOOL_VALUE_COLUMNS:
+                    if name != "is_boost":
+                        pending[name].append(value_columns[name][start:stop][new_mask])
+                pending_rows += new_count
+                del urls
+                flush()
+            observations[domain] = (home_observed, n_rows - home_observed)
+            shutil.rmtree(self._sealed[domain], ignore_errors=True)
+        flush(everything=True)
+
+        n_toots = flushed_rows
+        replication.ensure(n_toots)
+        np.savez(
+            self.path / _TABLES,
+            domains=_string_array(domains.values),
+            authors=_string_array(authors.values),
+            hashtags=_string_array(hashtags.values),
+            replication_counts=replication.values(),
+        )
+        manifest = {
+            "schema": CORPUS_SCHEMA,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "shard_size": self.shard_size,
+            "n_toots": n_toots,
+            "n_observations": observed_rows,
+            "n_boosts": boosts,
+            "crawl_minute": crawl_minute,
+            "columns": list(COLUMN_NAMES),
+            "tables": _TABLES,
+            "shards": shards,
+            "home_toot_counts": {
+                domain: int(count)
+                for domain, count in zip(domains.values, home_toots.values())
+                if count
+            },
+            "observations": {
+                domain: list(counts) for domain, counts in sorted(observations.items())
+            },
+        }
+        (self.path / _MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        shutil.rmtree(self._spool_dir, ignore_errors=True)
+
+        from repro.corpus.store import CorpusStore
+
+        return CorpusStore(self.path)
+
+
+def _take_shard(
+    pending: dict[str, list[np.ndarray]], take: int
+) -> dict[str, np.ndarray]:
+    """Split ``take`` rows off the pending chunk lists as one shard.
+
+    The hashtag CSR pair is re-based so every shard's ``hashtag_indptr``
+    starts at zero; all other columns split by plain row count.
+    """
+    # merge chunk lists once, then slice (chunks rarely exceed a few spools)
+    indptr_parts = pending["hashtag_indptr"]
+    merged_indptr = indptr_parts[0]
+    for part in indptr_parts[1:]:
+        merged_indptr = np.concatenate([merged_indptr, merged_indptr[-1] + part[1:]])
+    flat = (
+        np.concatenate(pending["hashtag_codes"])
+        if len(pending["hashtag_codes"]) > 1
+        else pending["hashtag_codes"][0]
+    )
+    flat_take = int(merged_indptr[take])
+
+    shard: dict[str, np.ndarray] = {}
+    for name, chunks in pending.items():
+        if name == "hashtag_indptr":
+            shard[name] = merged_indptr[: take + 1].copy()
+            pending[name] = [merged_indptr[take:] - merged_indptr[take]]
+        elif name == "hashtag_codes":
+            shard[name] = flat[:flat_take]
+            pending[name] = [flat[flat_take:]]
+        else:
+            merged = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            shard[name] = merged[:take]
+            pending[name] = [merged[take:]]
+    return shard

@@ -15,12 +15,15 @@ politeness delays, and runs instances in parallel across a thread pool.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.errors import CrawlBlockedError, HTTPError
 from repro.crawler.http import SimulatedTransport
 from repro.crawler.scheduler import CrawlReport, CrawlScheduler, RateLimiter
 from repro.fediverse.timeline import DEFAULT_PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.corpus.writer import CorpusWriter
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,13 +74,25 @@ class TootCrawlResult:
     skipped_offline: list[str] = field(default_factory=list)
     skipped_blocked: list[str] = field(default_factory=list)
     failures: dict[str, str] = field(default_factory=dict)
+    #: Observed toots per crawled instance.  In sink mode (``crawl(...,
+    #: sink=...)``) this is the only per-instance volume record: the
+    #: records themselves stream into the corpus writer instead.
+    toot_counts: dict[str, int] = field(default_factory=dict)
+
+    def iter_records(self) -> Iterator[TootRecord]:
+        """Yield every collected record without building one giant list.
+
+        Instances iterate in ``records_by_instance`` insertion order
+        (sorted by domain — the scheduler sorts its outcomes), so the
+        stream is exactly :meth:`all_records` without the O(corpus)
+        concatenated copy.
+        """
+        for instance_records in self.records_by_instance.values():
+            yield from instance_records
 
     def all_records(self) -> list[TootRecord]:
         """Return every record collected, across all instances."""
-        records: list[TootRecord] = []
-        for instance_records in self.records_by_instance.values():
-            records.extend(instance_records)
-        return records
+        return list(self.iter_records())
 
     def unique_toots(self) -> dict[str, TootRecord]:
         """Return the de-duplicated toot catalogue keyed by toot URL.
@@ -86,7 +101,7 @@ class TootCrawlResult:
         paper's 67M-toot dataset is the de-duplicated union.
         """
         unique: dict[str, TootRecord] = {}
-        for record in self.all_records():
+        for record in self.iter_records():
             unique.setdefault(record.url, record)
         return unique
 
@@ -115,9 +130,32 @@ class TootCrawler:
 
     # -- single instance -----------------------------------------------------
 
-    def crawl_instance(self, domain: str, at_minute: int) -> list[TootRecord]:
-        """Page the full federated-timeline history of one instance."""
+    def crawl_instance(
+        self,
+        domain: str,
+        at_minute: int,
+        sink: "CorpusWriter | None" = None,
+    ) -> list[TootRecord]:
+        """Page the full federated-timeline history of one instance.
+
+        With a ``sink``, each page's payload streams straight into the
+        corpus writer — no :class:`TootRecord` is ever built — and the
+        return value is an empty list; the observation count lands in
+        :attr:`TootCrawlResult.toot_counts` via :meth:`crawl`.
+        """
         records: list[TootRecord] = []
+        self._page_instance(domain, at_minute, records, sink)
+        return records
+
+    def _page_instance(
+        self,
+        domain: str,
+        at_minute: int,
+        records: list[TootRecord],
+        sink: "CorpusWriter | None",
+    ) -> int:
+        """The shared paging loop; returns the number of toots observed."""
+        observed = 0
         max_id: int | None = None
         pages = 0
         while True:
@@ -129,14 +167,20 @@ class TootCrawler:
             payload: list[dict[str, Any]] = response.payload
             if not payload:
                 break
-            records.extend(TootRecord.from_payload(item) for item in payload)
+            if sink is not None:
+                observed += sink.add_page(domain, payload)
+            else:
+                records.extend(TootRecord.from_payload(item) for item in payload)
+                observed += len(payload)
             max_id = min(int(item["id"]) for item in payload)
             pages += 1
             if self.max_pages_per_instance is not None and pages >= self.max_pages_per_instance:
                 break
             if len(payload) < self.page_limit:
                 break
-        return records
+        if sink is not None:
+            sink.end_instance(domain)
+        return observed
 
     # -- full crawl -------------------------------------------------------------
 
@@ -155,12 +199,20 @@ class TootCrawler:
         self,
         domains: Iterable[str] | None = None,
         at_minute: int | None = None,
+        sink: "CorpusWriter | None" = None,
     ) -> TootCrawlResult:
         """Crawl the federated timelines of every (online) instance.
 
         ``domains`` defaults to every instance known to the transport and
         ``at_minute`` to the end of the observation window (the paper
         crawled toots near the end of its measurement period).
+
+        With a ``sink`` (a :class:`~repro.corpus.writer.CorpusWriter`),
+        pages stream into the columnar corpus as they are crawled and
+        ``records_by_instance`` stays empty — only per-instance counts
+        are kept.  Instances that fail mid-crawl are discarded from the
+        sink, mirroring how the record path drops their lists.  The
+        caller finalises the sink once the crawl returns.
         """
         network = self._transport.network
         if at_minute is None:
@@ -172,15 +224,27 @@ class TootCrawler:
         live = self.live_domains(domains, at_minute)
         result.skipped_offline = sorted(set(domains) - set(live))
 
-        report: CrawlReport = self._scheduler.run(
-            live, lambda domain: self.crawl_instance(domain, at_minute)
-        )
+        if sink is None:
+            worker = lambda domain: self.crawl_instance(domain, at_minute)  # noqa: E731
+        else:
+            worker = lambda domain: self._page_instance(  # noqa: E731
+                domain, at_minute, [], sink
+            )
+        report: CrawlReport = self._scheduler.run(live, worker)
         for outcome in report.outcomes:
-            if outcome.ok:
+            if not outcome.ok:
+                if sink is not None:
+                    sink.discard_instance(outcome.key)
+                if isinstance(outcome.error, CrawlBlockedError):
+                    result.skipped_blocked.append(outcome.key)
+                else:
+                    result.failures[outcome.key] = str(outcome.error)
+                continue
+            if sink is None:
                 result.records_by_instance[outcome.key] = outcome.result  # type: ignore[assignment]
-            elif isinstance(outcome.error, CrawlBlockedError):
-                result.skipped_blocked.append(outcome.key)
+                result.toot_counts[outcome.key] = len(outcome.result)  # type: ignore[arg-type]
             else:
-                result.failures[outcome.key] = str(outcome.error)
+                result.records_by_instance[outcome.key] = []
+                result.toot_counts[outcome.key] = int(outcome.result)  # type: ignore[call-overload]
         result.skipped_blocked.sort()
         return result

@@ -64,8 +64,14 @@ def write_csv(path: str | Path, rows: Sequence[dict[str, Any]], fieldnames: Sequ
     with path.open("w", encoding="utf-8", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)
         writer.writeheader()
-        for row in rows:
-            writer.writerow(row)
+        for row_number, row in enumerate(rows, start=1):
+            try:
+                writer.writerow(row)
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}: row {row_number} does not match the CSV header "
+                    f"{list(fieldnames)}: {exc}"
+                ) from exc
     return len(rows)
 
 

@@ -48,11 +48,14 @@ deterministic per seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.store import CorpusStore
 
 #: Row-chunk sizing for the batched draws: keep the per-chunk key matrix
 #: around ~32 MB of float64 so 67M-toot runs stay memory-bounded.  The
@@ -69,14 +72,23 @@ class PlacementArrays:
     replica target); ``home[t]`` indexes into it, and
     ``replica_indices[replica_indptr[t]:replica_indptr[t + 1]]`` are the
     codes of toot ``t``'s replicas beyond its home instance.
+
+    ``toot_urls`` is any sequence — a tuple for the record-built
+    backends, or the lazy :class:`~repro.corpus.store.CorpusUrls` view
+    for corpus-built ones, so the scale paths (which only ever read
+    codes) never materialise the URL strings.  ``source_bounds`` carries
+    the corpus shard boundaries when the backend was built from a
+    columnar store; the sweep's auto-sharding streams over exactly those
+    shards (:func:`repro.engine.sweep._resolve_sharding`).
     """
 
     strategy: str
-    toot_urls: tuple[str, ...]
+    toot_urls: Sequence[str]
     domains: tuple[str, ...]
     home: np.ndarray
     replica_indices: np.ndarray
     replica_indptr: np.ndarray
+    source_bounds: tuple[tuple[int, int], ...] | None = None
 
     @property
     def n_toots(self) -> int:
@@ -144,6 +156,48 @@ class PlacementArrays:
                 raise AnalysisError("replica codes must be distinct within a row")
         return self
 
+    @classmethod
+    def from_corpus(
+        cls,
+        store: "CorpusStore",
+        kind: str = "none",
+        *,
+        graphs: "GraphDataset | None" = None,
+        candidate_domains: Sequence[str] | None = None,
+        n_replicas: int = 0,
+        seed: int = 0,
+        weights: Mapping[str, float] | None = None,
+    ) -> "PlacementArrays":
+        """Build a placement backend straight from a columnar corpus.
+
+        ``kind`` selects the strategy (``"none"`` / ``"subscription"`` /
+        ``"random"``, mirroring :class:`~repro.engine.sweep.StrategySpec`).
+        Home codes come from remapping the store's interned home column
+        shard by shard; the random/subscription replica construction
+        shares the exact batched cores of the record-list builders, so
+        the output — draws included — is bit-identical to building from
+        ``TootsDataset`` records.
+        """
+        from repro.corpus.placement import (
+            build_no_replication_from_corpus,
+            build_random_replication_from_corpus,
+            build_subscription_replication_from_corpus,
+        )
+
+        if kind == "none":
+            return build_no_replication_from_corpus(store)
+        if kind == "subscription":
+            if graphs is None:
+                raise AnalysisError("subscription replication needs the graphs dataset")
+            return build_subscription_replication_from_corpus(store, graphs)
+        if kind == "random":
+            if candidate_domains is None:
+                raise AnalysisError("random replication needs candidate domains")
+            return build_random_replication_from_corpus(
+                store, candidate_domains, n_replicas, seed=seed, weights=weights
+            )
+        raise AnalysisError(f"unknown placement strategy kind: {kind!r}")
+
 
 # -- shared encoding helpers -----------------------------------------------------
 
@@ -181,18 +235,17 @@ def build_no_replication(toots: "TootsDataset") -> PlacementArrays:
     )
 
 
-def build_subscription_replication(
-    toots: "TootsDataset", graphs: "GraphDataset"
-) -> PlacementArrays:
-    """Each toot is replicated to the instances hosting the author's followers.
+def follower_domain_sets(
+    authors: "Iterable[str]", graphs: "GraphDataset"
+) -> dict[str, set[str]]:
+    """Author → follower-domain sets in **one pass over the graph's edges**.
 
-    The author→follower-domain table is built in **one pass over the
-    follower graph's edges** (the legacy loop re-walked ``in_edges`` per
-    author); everything per-toot after that is array expansion.
+    ``authors`` may contain duplicates (per-toot account columns); keys
+    keep first-appearance order, which both the record and corpus
+    subscription builders rely on for identical author coding.
     """
-    urls, accounts, homes = _toot_columns(toots)
     follower_graph = graphs.follower_graph
-    follower_domains: dict[str, set[str]] = {account: set() for account in accounts}
+    follower_domains: dict[str, set[str]] = {author: set() for author in authors}
     nodes = follower_graph.nodes
     for follower, followed in follower_graph.edges():
         target = follower_domains.get(followed)
@@ -200,13 +253,52 @@ def build_subscription_replication(
             domain = nodes[follower].get("domain")
             if domain:
                 target.add(domain)
+    return follower_domains
 
+
+def build_subscription_replication(
+    toots: "TootsDataset", graphs: "GraphDataset"
+) -> PlacementArrays:
+    """Each toot is replicated to the instances hosting the author's followers.
+
+    The author→follower-domain table is built in one pass over the
+    follower graph's edges (the legacy loop re-walked ``in_edges`` per
+    author); everything per-toot after that is array expansion, shared
+    with the corpus path via :func:`subscription_arrays_from_columns`.
+    """
+    urls, accounts, homes = _toot_columns(toots)
+    follower_domains = follower_domain_sets(accounts, graphs)
     domains = tuple(sorted(set(homes).union(*follower_domains.values())))
+    code = {domain: j for j, domain in enumerate(domains)}
+    author_code = {author: i for i, author in enumerate(follower_domains)}
+    return subscription_arrays_from_columns(
+        urls,
+        _encode(homes, code),
+        domains,
+        _encode(accounts, author_code),
+        follower_domains,
+    )
+
+
+def subscription_arrays_from_columns(
+    urls: Sequence[str],
+    home: np.ndarray,
+    domains: tuple[str, ...],
+    toot_author: np.ndarray,
+    follower_domains: Mapping[str, set[str]],
+    source_bounds: tuple[tuple[int, int], ...] | None = None,
+) -> PlacementArrays:
+    """The subscription expansion over integer columns.
+
+    ``home`` indexes ``domains`` (the sorted universe of homes plus
+    every follower domain); ``toot_author`` indexes the keys of
+    ``follower_domains`` in iteration order.  Shared by the record-list
+    builder and :func:`repro.corpus.placement.build_subscription_replication_from_corpus`.
+    """
     code = {domain: j for j, domain in enumerate(domains)}
 
     # per-author replica arrays (CSR over the unique authors)
     authors = list(follower_domains)
-    author_code = {author: i for i, author in enumerate(authors)}
     author_counts = np.fromiter(
         (len(follower_domains[author]) for author in authors),
         dtype=np.int64,
@@ -226,8 +318,6 @@ def build_subscription_replication(
 
     # expand the per-author table to per-toot rows with pure array ops
     n = len(urls)
-    toot_author = _encode(accounts, author_code)
-    home = _encode(homes, code)
     lengths = author_counts[toot_author]
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(lengths, out=indptr[1:])
@@ -249,6 +339,7 @@ def build_subscription_replication(
         home=home,
         replica_indices=flat[keep],
         replica_indptr=replica_indptr,
+        source_bounds=source_bounds,
     )
 
 
@@ -403,6 +494,18 @@ def _batch_distinct_draws(
     return out
 
 
+def validated_candidates(
+    candidate_domains: Sequence[str], n_replicas: int
+) -> list[str]:
+    """The sorted, de-duplicated candidate set behind every random draw."""
+    if n_replicas < 0:
+        raise AnalysisError("the number of replicas cannot be negative")
+    candidates = sorted(set(candidate_domains))
+    if not candidates:
+        raise AnalysisError("no candidate instances to replicate onto")
+    return candidates
+
+
 def build_random_replication(
     toots: "TootsDataset",
     candidate_domains: Sequence[str],
@@ -420,12 +523,34 @@ def build_random_replication(
     placements differ toot-by-toot while following the same
     distribution.
     """
-    if n_replicas < 0:
-        raise AnalysisError("the number of replicas cannot be negative")
-    candidates = sorted(set(candidate_domains))
-    if not candidates:
-        raise AnalysisError("no candidate instances to replicate onto")
+    candidates = validated_candidates(candidate_domains, n_replicas)
     urls, _, homes = _toot_columns(toots)
+    domains = tuple(sorted(set(homes).union(candidates)))
+    home = _encode(homes, {domain: j for j, domain in enumerate(domains)})
+    return random_arrays_from_columns(
+        urls, home, domains, candidates, n_replicas, seed, weights
+    )
+
+
+def random_arrays_from_columns(
+    urls: Sequence[str],
+    home: np.ndarray,
+    domains: tuple[str, ...],
+    candidates: Sequence[str],
+    n_replicas: int,
+    seed: int = 0,
+    weights: Mapping[str, float] | None = None,
+    source_bounds: tuple[tuple[int, int], ...] | None = None,
+) -> PlacementArrays:
+    """The batched random draw over integer columns.
+
+    ``home`` indexes ``domains`` (the sorted universe of homes plus
+    ``candidates``); the draw depends only on ``(n, len(candidates),
+    n_replicas, seed, weights)`` plus the home sequence, so any caller
+    supplying the same columns — record lists or a columnar corpus —
+    gets bit-identical placements.
+    """
+    code = {domain: j for j, domain in enumerate(domains)}
     n, m = len(urls), len(candidates)
     k = min(n_replicas, m)
 
@@ -433,9 +558,6 @@ def build_random_replication(
     if weights is not None:
         log_weights = _normalised_log_weights(candidates, weights, k)
 
-    domains = tuple(sorted(set(homes).union(candidates)))
-    code = {domain: j for j, domain in enumerate(domains)}
-    home = _encode(homes, code)
     label = f"random-replication-n{n_replicas}"
     if weights is not None:
         label += "-weighted"
@@ -448,6 +570,7 @@ def build_random_replication(
             home=home,
             replica_indices=np.empty(0, dtype=np.int64),
             replica_indptr=np.zeros(n + 1, dtype=np.int64),
+            source_bounds=source_bounds,
         )
 
     candidate_codes = _encode(candidates, code)
@@ -470,4 +593,5 @@ def build_random_replication(
         home=home,
         replica_indices=picks[keep],
         replica_indptr=replica_indptr,
+        source_bounds=source_bounds,
     )

@@ -91,16 +91,27 @@ class ShardedIncidence:
         *,
         n_toots: int,
         domains: tuple[str, ...],
-        shard_size: int,
+        shard_size: int | None = None,
         assemble: Callable[[int, int], sparse.csr_matrix],
+        bounds: Sequence[tuple[int, int]] | None = None,
     ) -> None:
         if n_toots <= 0:
             raise AnalysisError("the placement map is empty")
-        if shard_size < 1:
+        if bounds is not None:
+            bounds = [(int(start), int(stop)) for start, stop in bounds]
+            if not bounds or bounds[0][0] != 0 or bounds[-1][1] != n_toots:
+                raise AnalysisError("shard bounds must cover toots 0..n exactly")
+            if any(start >= stop for start, stop in bounds) or any(
+                prev[1] != cur[0] for prev, cur in zip(bounds, bounds[1:])
+            ):
+                raise AnalysisError("shard bounds must be contiguous ascending ranges")
+            shard_size = max(stop - start for start, stop in bounds)
+        elif shard_size is None or shard_size < 1:
             raise AnalysisError("shard_size must be a positive number of toots")
         self.n_toots = n_toots
         self.domains = domains
         self.shard_size = shard_size
+        self._bounds = bounds
         self._assemble = assemble
         self._lookup: DomainLookup | None = None
 
@@ -108,7 +119,11 @@ class ShardedIncidence:
 
     @classmethod
     def from_arrays(
-        cls, arrays: "PlacementArrays", shard_size: int
+        cls,
+        arrays: "PlacementArrays",
+        shard_size: int | None = None,
+        *,
+        bounds: Sequence[tuple[int, int]] | None = None,
     ) -> "ShardedIncidence":
         """Shard the integer-coded placement backend by toot range.
 
@@ -116,7 +131,10 @@ class ShardedIncidence:
         slices of the backend's home/replica arrays — the same
         interleaving :meth:`TootIncidence.from_arrays` uses, applied to
         rows ``[start, stop)`` only — so the full corpus matrix never
-        exists.
+        exists.  ``bounds`` overrides the uniform ``shard_size`` split
+        with explicit ranges (e.g. the corpus shard boundaries recorded
+        in ``arrays.source_bounds``), so crawl shards flow through to
+        the sweep unchanged.
         """
         if arrays.n_toots == 0:
             raise AnalysisError("the placement map is empty")
@@ -151,6 +169,7 @@ class ShardedIncidence:
             domains=tuple(arrays.domains),
             shard_size=shard_size,
             assemble=assemble,
+            bounds=bounds,
         )
 
     @classmethod
@@ -193,6 +212,8 @@ class ShardedIncidence:
 
     @property
     def n_shards(self) -> int:
+        if self._bounds is not None:
+            return len(self._bounds)
         return (self.n_toots + self.shard_size - 1) // self.shard_size
 
     @property
@@ -205,9 +226,12 @@ class ShardedIncidence:
     def shard_bounds(self) -> list[tuple[int, int]]:
         """The ``[start, stop)`` toot range of every shard, in order.
 
-        The final shard is ragged whenever ``shard_size`` does not
-        divide ``n_toots``.
+        Explicit ``bounds`` (corpus-aligned shards) are returned as
+        given; otherwise the uniform split, whose final shard is ragged
+        whenever ``shard_size`` does not divide ``n_toots``.
         """
+        if self._bounds is not None:
+            return list(self._bounds)
         edges = list(range(0, self.n_toots, self.shard_size)) + [self.n_toots]
         return list(zip(edges[:-1], edges[1:]))
 

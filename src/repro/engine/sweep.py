@@ -82,10 +82,13 @@ def _resolve_sharding(
     ``shard_size=None`` is automatic: arrays-backed corpora at or above
     :data:`AUTO_SHARD_THRESHOLD` toots shard at :data:`DEFAULT_SHARD_SIZE`,
     as does any request for ``workers > 1`` (parallelism needs shards).
-    ``shard_size=0`` opts out entirely; any other explicit size forces
-    sharding.  Arrays-backed placements shard without ever building the
-    full incidence matrix; built matrices and dict-backed maps shard by
-    row-range views.
+    Backends built from a columnar corpus carry their crawl shard
+    boundaries (``PlacementArrays.source_bounds``); automatic sharding
+    streams over exactly those shards, so the on-disk layout and the
+    evaluation working set line up.  ``shard_size=0`` opts out entirely;
+    any other explicit size forces (uniform) sharding.  Arrays-backed
+    placements shard without ever building the full incidence matrix;
+    built matrices and dict-backed maps shard by row-range views.
     """
     if isinstance(placements, ShardedIncidence):
         return placements
@@ -109,6 +112,9 @@ def _resolve_sharding(
         ) or (workers is not None and workers > 1)
         if not auto_shard:
             return None
+        source_bounds = getattr(arrays, "source_bounds", None)
+        if source_bounds:
+            return ShardedIncidence.from_arrays(arrays, bounds=source_bounds)
         shard_size = DEFAULT_SHARD_SIZE
     if arrays is not None:
         return ShardedIncidence.from_arrays(arrays, shard_size)
@@ -223,6 +229,32 @@ class StrategySpec:
                 weights=dict(self.weights) if self.weights is not None else None,
             )
         raise AnalysisError(f"unknown placement strategy kind: {self.kind!r}")
+
+    def build_from_corpus(
+        self,
+        store: "CorpusStore",
+        graphs: "GraphDataset | None" = None,
+        candidate_domains: Sequence[str] | None = None,
+    ) -> PlacementMap:
+        """Build the same placement map straight from a columnar corpus.
+
+        Dispatches through :meth:`PlacementArrays.from_corpus
+        <repro.engine.placement.PlacementArrays.from_corpus>`; the
+        resulting map is bit-identical to :meth:`build` on the
+        equivalent record-backed dataset, without materialising records.
+        """
+        from repro.engine.placement import PlacementArrays
+
+        arrays = PlacementArrays.from_corpus(
+            store,
+            self.kind,
+            graphs=graphs,
+            candidate_domains=candidate_domains,
+            n_replicas=self.n_replicas,
+            seed=self.seed,
+            weights=dict(self.weights) if self.weights is not None else None,
+        )
+        return PlacementMap(strategy=arrays.strategy, arrays=arrays)
 
 
 def random_strategy_grid(

@@ -19,6 +19,7 @@ across experiments too: fig15 and fig16 share the same ``no-rep`` and
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Mapping, Sequence, TypeVar
 
 from repro import CollectedDatasets, build_scenario, collect_datasets
@@ -49,6 +50,8 @@ class ExperimentContext:
         twitter_seed: int = 2007,
         shard_size: int | None = None,
         workers: int | None = None,
+        corpus_dir: "str | Path | None" = None,
+        corpus_shard_size: int | None = None,
     ) -> None:
         self.preset = preset
         self.seed = seed
@@ -60,6 +63,12 @@ class ExperimentContext:
         #: automatic: shard past the engine's corpus-size threshold).
         self.shard_size = shard_size
         self.workers = workers
+        #: When set, the toot crawl streams into a columnar corpus at
+        #: this directory (:mod:`repro.corpus`) and placement maps build
+        #: straight from its columns — no ``TootRecord`` lists anywhere
+        #: on the fig15/16 path.
+        self.corpus_dir = corpus_dir
+        self.corpus_shard_size = corpus_shard_size
         #: How many times each expensive builder actually ran.
         self.counters: dict[str, int] = {
             "build_scenario": 0,
@@ -116,7 +125,10 @@ class ExperimentContext:
         """The full measurement pipeline output (built on first access)."""
         if self._data is None:
             self._data = collect_datasets(
-                self.network, monitor_interval_minutes=self.monitor_interval_minutes
+                self.network,
+                monitor_interval_minutes=self.monitor_interval_minutes,
+                corpus_dir=self.corpus_dir,
+                corpus_shard_size=self.corpus_shard_size,
             )
             self.counters["collect_datasets"] += 1
         return self._data
@@ -220,13 +232,26 @@ class ExperimentContext:
     # -- placement strategies and sweeps -------------------------------------
 
     def placements_for(self, spec: StrategySpec) -> PlacementMap:
-        """The placement map for ``spec``, built once per distinct spec."""
+        """The placement map for ``spec``, built once per distinct spec.
+
+        When the pipeline streamed to a columnar corpus, maps build
+        straight from the corpus columns (:meth:`StrategySpec.build_from_corpus`)
+        — bit-identical placements, no record materialisation.
+        """
         if spec not in self._placements:
-            self._placements[spec] = spec.build(
-                self.data.toots,
-                graphs=self.data.graphs,
-                candidate_domains=self.domains,
-            )
+            if self.data.corpus is not None:
+                placements = spec.build_from_corpus(
+                    self.data.corpus,
+                    graphs=self.data.graphs,
+                    candidate_domains=self.domains,
+                )
+            else:
+                placements = spec.build(
+                    self.data.toots,
+                    graphs=self.data.graphs,
+                    candidate_domains=self.domains,
+                )
+            self._placements[spec] = placements
             self.counters["placements_built"] += 1
         return self._placements[spec]
 
@@ -284,4 +309,6 @@ class ExperimentContext:
             metadata["shard_size"] = self.shard_size
         if self.workers is not None:
             metadata["workers"] = self.workers
+        if self.corpus_dir is not None:
+            metadata["corpus_dir"] = str(self.corpus_dir)
         return metadata

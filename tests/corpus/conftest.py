@@ -1,0 +1,27 @@
+"""Shared corpus fixtures: the tiny crawl, once per backend.
+
+The legacy crawl result and the corpus written from the *same* network
+are session-scoped so every corpus test compares against identical
+ground truth without re-crawling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusWriter
+from repro.crawler import SimulatedTransport, TootCrawler
+
+
+@pytest.fixture(scope="session")
+def tiny_crawl(tiny_network):
+    """The record-path crawl of the tiny fediverse."""
+    return TootCrawler(SimulatedTransport(tiny_network), threads=4).crawl()
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_network, tmp_path_factory):
+    """The same crawl streamed into a columnar corpus (multiple shards)."""
+    writer = CorpusWriter(tmp_path_factory.mktemp("tiny-corpus"), shard_size=700)
+    result = TootCrawler(SimulatedTransport(tiny_network), threads=4).crawl(sink=writer)
+    return writer.finalise(crawl_minute=result.crawl_minute)

@@ -81,6 +81,61 @@ class TestFullCrawl:
         assert result.crawl_minute == network.clock.window_minutes - 1
 
 
+class TestIterRecords:
+    def test_iter_matches_all_records(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=4)
+        result = crawler.crawl()
+        assert list(result.iter_records()) == result.all_records()
+
+    def test_iter_is_a_stream_not_a_copy(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=2)
+        result = crawler.crawl()
+        stream = result.iter_records()
+        assert iter(stream) is stream  # a generator: no corpus-sized list
+
+    def test_toot_counts_match_record_lists(self, network):
+        crawler = TootCrawler(SimulatedTransport(network), threads=4)
+        result = crawler.crawl()
+        assert result.toot_counts == {
+            domain: len(records)
+            for domain, records in result.records_by_instance.items()
+        }
+
+
+class TestSinkCrawl:
+    def test_sink_crawl_streams_without_records(self, network, tmp_path):
+        from repro.corpus import CorpusWriter
+
+        legacy = TootCrawler(SimulatedTransport(network), threads=4).crawl()
+        writer = CorpusWriter(tmp_path, shard_size=40)
+        result = TootCrawler(SimulatedTransport(network), threads=4).crawl(sink=writer)
+        assert all(records == [] for records in result.records_by_instance.values())
+        assert result.toot_counts == legacy.toot_counts
+        store = writer.finalise(crawl_minute=result.crawl_minute)
+        assert store.n_toots == len(legacy.unique_toots())
+        assert list(store.iter_records()) == list(legacy.unique_toots().values())
+        # every crawled instance is observed — including ones whose
+        # federated timeline was empty (gamma has no toots at all)
+        assert sorted(store.observations) == sorted(legacy.records_by_instance)
+        assert store.observations["gamma.example"] == (0, 0)
+
+    def test_blocked_and_failed_instances_discarded_from_sink(self, network, tmp_path):
+        from repro.corpus import CorpusWriter
+
+        network.add_instance(
+            InstanceDescriptor(domain="blocked.example", crawl_blocked=True)
+        )
+        network.register_user("blocked.example", "dora", created_at=0)
+        network.post_toot(ref("dora@blocked.example"), created_at=700)
+        writer = CorpusWriter(tmp_path)
+        crawler = TootCrawler(SimulatedTransport(network), threads=4)
+        result = crawler.crawl(sink=writer)
+        assert "blocked.example" in result.skipped_blocked
+        store = writer.finalise(crawl_minute=result.crawl_minute)
+        assert "blocked.example" not in store.observations
+        assert "alpha.example" in store.observations
+
+
 class TestTootRecord:
     def test_from_payload_roundtrip(self, network):
         crawler = TootCrawler(SimulatedTransport(network))

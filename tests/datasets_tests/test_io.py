@@ -63,6 +63,18 @@ class TestCSV:
         assert write_csv(path, []) == 0
         assert path.read_text(encoding="utf-8") == ""
 
+    def test_heterogeneous_rows_raise_dataset_error_with_row_number(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "z": "surprise"}]
+        with pytest.raises(DatasetError, match=r"row 2") as excinfo:
+            write_csv(path, rows)
+        assert "['x', 'y']" in str(excinfo.value)
+
+    def test_explicit_fieldnames_still_validated(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        with pytest.raises(DatasetError, match=r"row 1"):
+            write_csv(path, [{"x": 1, "extra": 2}], fieldnames=["x"])
+
 
 class TestDataclassRoundtrips:
     def test_snapshots(self, tmp_path):

@@ -48,9 +48,28 @@ class TestParser:
 
     def test_every_subcommand_dispatches_via_func(self):
         """set_defaults(func=...) dispatch: no command can silently fall through."""
-        for argv in (["scenario"], ["report"], ["export", "out"], ["experiments"], ["run", "fig1"]):
+        for argv in (
+            ["scenario"],
+            ["report"],
+            ["export", "out"],
+            ["collect", "--corpus", "out"],
+            ["experiments"],
+            ["run", "fig1"],
+        ):
             args = build_parser().parse_args(argv)
             assert callable(args.func), f"{argv[0]} has no dispatch function"
+
+    def test_collect_requires_corpus_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["collect"])
+
+    def test_run_corpus_flag_variants(self):
+        args = build_parser().parse_args(["run", "fig15"])
+        assert args.corpus_dir is None
+        args = build_parser().parse_args(["run", "fig15", "--corpus"])
+        assert args.corpus_dir == ""  # temporary-directory sentinel
+        args = build_parser().parse_args(["run", "fig15", "--corpus", "corp"])
+        assert args.corpus_dir == "corp"
 
 
 class TestCommands:
@@ -133,6 +152,30 @@ class TestRunCommand:
         payload = json.loads((out_dir / "fig15.json").read_text())
         assert payload["metadata"]["shard_size"] == 13
         assert payload["metadata"]["workers"] == 2
+
+    def test_collect_then_run_corpus_matches_in_memory_run(self, tmp_path, capsys):
+        """collect --corpus + run --corpus reproduce the record path bit for bit."""
+        legacy_dir = tmp_path / "legacy"
+        corpus_dir = tmp_path / "corp"
+        corpus_out = tmp_path / "from-corpus"
+        assert main(["run", "fig16", "--preset", "tiny", "--seed", "3",
+                     "--json", str(legacy_dir)]) == 0
+        assert main(["collect", "--corpus", str(corpus_dir), "--preset", "tiny",
+                     "--seed", "3", "--shard-toots", "701"]) == 0
+        assert (corpus_dir / "manifest.json").exists()
+        # re-collecting into the same directory is refused
+        assert main(["collect", "--corpus", str(corpus_dir), "--preset", "tiny",
+                     "--seed", "3"]) == 2
+        # the run reuses the collected corpus instead of re-crawling
+        assert main(["run", "fig16", "--preset", "tiny", "--seed", "3",
+                     "--corpus", str(corpus_dir), "--json", str(corpus_out)]) == 0
+        capsys.readouterr()
+        legacy = json.loads((legacy_dir / "fig16.json").read_text())
+        corpus = json.loads((corpus_out / "fig16.json").read_text())
+        for payload in (legacy, corpus):
+            payload["metadata"].pop("elapsed_seconds", None)
+            payload["metadata"].pop("corpus_dir", None)
+        assert corpus == legacy
 
     def test_run_json_round_trips_into_experiment_result(self, tmp_path, capsys):
         out_dir = tmp_path / "results"
