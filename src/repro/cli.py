@@ -167,6 +167,24 @@ def build_parser() -> argparse.ArgumentParser:
             "DIR the corpus lives in a temporary directory for the run"
         ),
     )
+    run.add_argument(
+        "--churn-ticks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "probe ticks of the temporal-churn sweep across the observation "
+            "window (the 'churn' experiment; default: 48)"
+        ),
+    )
+    run.add_argument(
+        "--churn-seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="SEED",
+        help="bootstrap seeds of the sampled churn processes (default: 0 1 2)",
+    )
     run.set_defaults(func=_command_run)
     return parser
 
@@ -317,6 +335,11 @@ def _command_run(args: argparse.Namespace) -> int:
         corpus_dir = scratch_corpus.name
         print(f"streaming the crawl to a temporary corpus at {corpus_dir}/")
 
+    churn_kwargs: dict[str, object] = {}
+    if args.churn_ticks is not None:
+        churn_kwargs["churn_ticks"] = args.churn_ticks
+    if args.churn_seeds is not None:
+        churn_kwargs["churn_seeds"] = tuple(args.churn_seeds)
     ctx = ExperimentContext(
         preset=args.preset,
         seed=args.seed,
@@ -324,6 +347,7 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         workers=args.workers,
         corpus_dir=corpus_dir,
+        **churn_kwargs,
     )
     try:
         results = run_experiments(ids, ctx=ctx)

@@ -14,6 +14,7 @@ import networkx as nx
 
 from repro.errors import AnalysisError
 from repro.datasets.instances import InstancesDataset
+from repro.fediverse.geo import hoster_of_asn
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +40,16 @@ def asn_breakdown(dataset: InstancesDataset, top: int | None = None) -> list[Hos
     return _grouped_breakdown(dataset, by="asn", top=top)
 
 
+def hoster_breakdown(dataset: InstancesDataset, top: int | None = None) -> list[HostingShare]:
+    """Per-hosting-provider shares, with sibling ASNs collapsed (Tables 1-2).
+
+    The provider — not the individual AS — is the failure domain of a
+    correlated outage, so this is the grouping
+    :class:`~repro.engine.failures.HosterRemoval` sweeps over.
+    """
+    return _grouped_breakdown(dataset, by="hoster", top=top)
+
+
 def _grouped_breakdown(
     dataset: InstancesDataset, by: str, top: int | None
 ) -> list[HostingShare]:
@@ -57,6 +68,8 @@ def _grouped_breakdown(
             key = metadata.country or "unknown"
         elif by == "asn":
             key = metadata.as_name or f"AS{metadata.asn}"
+        elif by == "hoster":
+            key = hoster_of_asn(metadata.asn, metadata.as_name)
         else:
             raise AnalysisError(f"unknown grouping: {by!r}")
         groups.setdefault(key, []).append(domain)

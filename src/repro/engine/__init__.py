@@ -31,7 +31,17 @@ differential suite in ``tests/engine/test_equivalence.py``.  New failure
 models subclass :class:`FailureModel` — see :mod:`repro.engine.failures`.
 """
 
-from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
+from repro.engine.failures import (
+    ASRemoval,
+    CountryRemoval,
+    FailureModel,
+    GroupedRemoval,
+    HosterRemoval,
+    InstanceRemoval,
+    ScheduledDowntime,
+    TemporalChurn,
+    TemporalFailureModel,
+)
 from repro.engine.incidence import DomainLookup, NEVER_REMOVED, TootIncidence
 from repro.engine.sharding import (
     AUTO_SHARD_THRESHOLD,
@@ -55,6 +65,8 @@ from repro.engine.kernels import (
     kill_steps_batch,
     losses_per_step,
     losses_per_step_batch,
+    temporal_availability_from_counts,
+    temporal_removal_matrix,
 )
 from repro.engine.resilience import (
     GraphMatrix,
@@ -74,13 +86,19 @@ from repro.engine.sweep import (
 __all__ = [
     "ASRemoval",
     "AUTO_SHARD_THRESHOLD",
+    "CountryRemoval",
     "DEFAULT_SHARD_SIZE",
     "DomainLookup",
     "FailureModel",
     "GraphMatrix",
+    "GroupedRemoval",
+    "HosterRemoval",
     "IncidenceShard",
     "InstanceRemoval",
     "NEVER_REMOVED",
+    "ScheduledDowntime",
+    "TemporalChurn",
+    "TemporalFailureModel",
     "PlacementArrays",
     "ShardedIncidence",
     "StrategySpec",
@@ -104,5 +122,7 @@ __all__ = [
     "run_availability_sweep",
     "sharded_availability_curves",
     "streaming_losses",
+    "temporal_availability_from_counts",
+    "temporal_removal_matrix",
     "user_removal_sweep_matrix",
 ]

@@ -170,6 +170,39 @@ def losses_per_step_batch(
     return losses
 
 
+def temporal_removal_matrix(down: np.ndarray) -> np.ndarray:
+    """Encode a per-tick down matrix as single-step schedule columns.
+
+    ``down`` is boolean ``(n_domains, ticks)``; the result maps down
+    domains to removal step ``1`` and up domains to ``np.inf``, one
+    column per tick.  Each column is then an ordinary one-step schedule:
+    the per-row max rule yields a finite kill step **iff every holder is
+    down at that tick** (any live holder contributes ``inf``), so
+    ``losses[:, 1]`` from :func:`losses_per_step_batch` counts the toots
+    unavailable at each tick.  Because the counts stay plain additive
+    integers, the sharded streaming fold evaluates temporal schedules
+    unchanged — and bit-identically.
+    """
+    down = np.asarray(down)
+    if down.ndim != 2:
+        raise AnalysisError("the down matrix must be 2-D (n_domains, ticks)")
+    return np.where(down, 1.0, np.inf)
+
+
+def temporal_availability_from_counts(counts: np.ndarray, total: int) -> np.ndarray:
+    """Availability time series from per-tick unavailable counts.
+
+    Index 0 is the no-outage baseline (1.0); index ``t`` is the fraction
+    of toots with at least one live holder at tick ``t``.  Unlike the
+    cumulative curves there is no running sum — ticks are independent
+    snapshots, and the series is not monotone.
+    """
+    if total <= 0:
+        raise AnalysisError("the placement map is empty")
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.concatenate(([1.0], 1.0 - counts / total))
+
+
 def availability_from_losses(losses: np.ndarray, total: int) -> np.ndarray:
     """Availability curve (length ``steps + 1``) from per-step losses."""
     if total <= 0:

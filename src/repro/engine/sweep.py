@@ -42,12 +42,17 @@ from repro.core.replication import (
 )
 from repro.engine.failures import FailureModel
 from repro.engine.incidence import TootIncidence
-from repro.engine.kernels import availability_curves_batch
+from repro.engine.kernels import (
+    availability_from_losses,
+    losses_per_step_batch,
+    temporal_availability_from_counts,
+    temporal_removal_matrix,
+)
 from repro.engine.sharding import (
     AUTO_SHARD_THRESHOLD,
     DEFAULT_SHARD_SIZE,
     ShardedIncidence,
-    sharded_availability_curves,
+    streaming_losses,
 )
 
 
@@ -139,13 +144,19 @@ def availability_curves(
     streaming sharded engine (:mod:`repro.engine.sharding`); the curves
     are bit-identical either way, so the knobs trade peak memory and
     wall time only.
+
+    Cumulative models contribute one removal column each; temporal
+    models (``failure.temporal``) contribute one single-step column per
+    tick, built by :func:`~repro.engine.kernels.temporal_removal_matrix`.
+    Both column kinds flow through the same batched loss reduction —
+    monolithic or streaming-sharded — before being reassembled into
+    cumulative curves and availability time series respectively.
     """
     if not failures:
         raise AnalysisError("need at least one failure model")
     names = [failure.name for failure in failures]
     if len(set(names)) != len(names):
         raise AnalysisError("failure models must have distinct names")
-    steps = np.asarray([failure.effective_steps() for failure in failures], dtype=np.int64)
     sharded = _resolve_sharding(placements, shard_size, workers)
     if sharded is not None:
         target: ShardedIncidence | TootIncidence = sharded
@@ -155,19 +166,43 @@ def availability_curves(
             if isinstance(placements, TootIncidence)
             else TootIncidence.from_placements(placements)
         )
-    removal_matrix = np.column_stack(
-        [
-            target.removal_vector(failure.removal_index(), int(steps[j]))
-            for j, failure in enumerate(failures)
-        ]
-    )
+    lookup = target.lookup
+    blocks: list[np.ndarray] = []
+    col_steps: list[int] = []
+    spans: list[tuple[FailureModel, int, int]] = []  # (model, first column, n columns)
+    for failure in failures:
+        start = len(col_steps)
+        if failure.temporal:
+            block = temporal_removal_matrix(failure.down_matrix(lookup))
+            blocks.append(block)
+            col_steps.extend([1] * block.shape[1])
+        else:
+            failure_steps = failure.effective_steps()
+            blocks.append(
+                lookup.removal_vector(failure.removal_index(), failure_steps)[:, None]
+            )
+            col_steps.append(failure_steps)
+        spans.append((failure, start, len(col_steps) - start))
+    removal_matrix = np.concatenate(blocks, axis=1)
+    steps = np.asarray(col_steps, dtype=np.int64)
     if sharded is not None:
-        curves = sharded_availability_curves(
-            sharded, removal_matrix, steps, workers=workers
-        )
+        losses = streaming_losses(sharded, removal_matrix, steps, workers=workers)
+        total = sharded.n_toots
     else:
-        curves = availability_curves_batch(target.matrix, removal_matrix, steps)
-    return {name: _to_points(curve) for name, curve in zip(names, curves)}
+        losses = losses_per_step_batch(target.matrix, removal_matrix, steps)
+        total = target.n_toots
+    curves: dict[str, list[AvailabilityPoint]] = {}
+    for failure, start, n_cols in spans:
+        if failure.temporal:
+            curve = temporal_availability_from_counts(
+                losses[start : start + n_cols, 1], total
+            )
+        else:
+            curve = availability_from_losses(
+                losses[start, : int(steps[start]) + 1], total
+            )
+        curves[failure.name] = _to_points(curve)
+    return curves
 
 
 # -- placement strategies as declarative specs -----------------------------------

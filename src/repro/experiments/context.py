@@ -27,14 +27,31 @@ from repro.core import resilience
 from repro.errors import AnalysisError
 from repro.core.replication import AvailabilityPoint, PlacementMap
 from repro.datasets import TwitterBaselines
-from repro.engine.failures import ASRemoval, FailureModel, InstanceRemoval
+from repro.engine.failures import (
+    ASRemoval,
+    CountryRemoval,
+    FailureModel,
+    HosterRemoval,
+    InstanceRemoval,
+    TemporalChurn,
+)
 from repro.engine.sweep import StrategySpec, SweepResult, availability_curves
+from repro.fediverse.geo import hoster_of_asn
 
 T = TypeVar("T")
 
 #: Removal-schedule lengths shared by the fig13/15/16 family.
 INSTANCE_REMOVAL_STEPS = 50
 AS_REMOVAL_STEPS = 15
+
+#: Correlated-failure schedules: whole hosters/countries per step, so the
+#: schedules are short — a handful of groups already covers most users.
+GROUP_REMOVAL_STEPS = 10
+
+#: Defaults for the temporal churn sweep: ticks across the observation
+#: window and the bootstrap seeds of the sampled outage processes.
+CHURN_TICKS = 48
+CHURN_SEEDS = (0, 1, 2)
 
 
 class ExperimentContext:
@@ -52,6 +69,8 @@ class ExperimentContext:
         workers: int | None = None,
         corpus_dir: "str | Path | None" = None,
         corpus_shard_size: int | None = None,
+        churn_ticks: int = CHURN_TICKS,
+        churn_seeds: Sequence[int] = CHURN_SEEDS,
     ) -> None:
         self.preset = preset
         self.seed = seed
@@ -69,6 +88,10 @@ class ExperimentContext:
         #: on the fig15/16 path.
         self.corpus_dir = corpus_dir
         self.corpus_shard_size = corpus_shard_size
+        #: Temporal-churn sweep shape: probe ticks across the window and
+        #: one sampled outage process per bootstrap seed.
+        self.churn_ticks = churn_ticks
+        self.churn_seeds = tuple(churn_seeds)
         #: How many times each expensive builder actually ran.
         self.counters: dict[str, int] = {
             "build_scenario": 0,
@@ -176,6 +199,50 @@ class ExperimentContext:
             },
         )
 
+    @property
+    def hoster_of(self) -> dict[str, str]:
+        """Instance domain -> hosting-provider label (sibling ASNs collapsed)."""
+        return self.memo(
+            "hoster_of",
+            lambda: {
+                domain: hoster_of_asn(metadata.asn, metadata.as_name)
+                for domain, metadata in (
+                    (d, self.data.instances.metadata_for(d))
+                    for d in self.data.instances.domains()
+                )
+            },
+        )
+
+    @property
+    def country_of(self) -> dict[str, str]:
+        """Instance domain -> hosting country code."""
+        return self.memo(
+            "country_of",
+            lambda: {
+                domain: self.data.instances.metadata_for(domain).country or "unknown"
+                for domain in self.data.instances.domains()
+            },
+        )
+
+    def hoster_ranking(self) -> list[str]:
+        """Hosting providers ranked by hosted users (desc, label tiebreak)."""
+        return self.memo(
+            "hoster_ranking", lambda: self._group_ranking(self.hoster_of)
+        )
+
+    def country_ranking(self) -> list[str]:
+        """Hosting countries ranked by hosted users (desc, code tiebreak)."""
+        return self.memo(
+            "country_ranking", lambda: self._group_ranking(self.country_of)
+        )
+
+    def _group_ranking(self, group_of: Mapping[str, str]) -> list[str]:
+        users = self.users_per_instance
+        totals: dict[str, int] = {}
+        for domain, group in group_of.items():
+            totals[group] = totals.get(group, 0) + users.get(domain, 0)
+        return sorted(totals, key=lambda group: (-totals[group], group))
+
     def instance_ranking(self, by: str) -> list[str]:
         """Instances ranked for removal (``"users"|"toots"|"connections"``)."""
         return self.memo(
@@ -228,6 +295,52 @@ class ExperimentContext:
                 for by in ("instances", "users")
             ),
         ]
+
+    def correlated_failures(self) -> list[FailureModel]:
+        """The correlated-failure grid: ranked hoster and country outages.
+
+        One whole infrastructure group disappears per step — the paper's
+        Tables 1-2 blast radii, ranked by hosted users.
+        """
+        return self.memo(
+            "correlated_failures",
+            lambda: [
+                HosterRemoval(
+                    self.hoster_of,
+                    self.hoster_ranking(),
+                    steps=GROUP_REMOVAL_STEPS,
+                    name="hosters/by_users",
+                ),
+                CountryRemoval(
+                    self.country_of,
+                    self.country_ranking(),
+                    steps=GROUP_REMOVAL_STEPS,
+                    name="countries/by_users",
+                ),
+            ],
+        )
+
+    def churn_failures(self) -> list[FailureModel]:
+        """Temporal churn: one sampled outage process per bootstrap seed.
+
+        Each model resamples the scenario's ground-truth outage
+        distributions (:attr:`network.availability <repro.fediverse.network>`,
+        Figs. 7-10) and probes availability at ``churn_ticks`` instants
+        across the observation window — instances go down *and come back*.
+        """
+        return self.memo(
+            "churn_failures",
+            lambda: [
+                TemporalChurn.from_schedule(
+                    self.network.availability,
+                    self.domains,
+                    steps=self.churn_ticks,
+                    seed=seed,
+                    name=f"churn/seed={seed}",
+                )
+                for seed in self.churn_seeds
+            ],
+        )
 
     # -- placement strategies and sweeps -------------------------------------
 
@@ -311,4 +424,10 @@ class ExperimentContext:
             metadata["workers"] = self.workers
         if self.corpus_dir is not None:
             metadata["corpus_dir"] = str(self.corpus_dir)
+        # churn knobs are stamped only when changed so that experiments
+        # untouched by temporal sweeps keep their metadata stable
+        if self.churn_ticks != CHURN_TICKS:
+            metadata["churn_ticks"] = self.churn_ticks
+        if self.churn_seeds != CHURN_SEEDS:
+            metadata["churn_seeds"] = ",".join(str(seed) for seed in self.churn_seeds)
         return metadata

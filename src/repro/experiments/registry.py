@@ -49,6 +49,7 @@ def _load_runner_modules() -> None:
     """Import every runner module (idempotent; registration is import-time)."""
     from repro.experiments import (  # noqa: F401
         runners_availability,
+        runners_failures,
         runners_population,
         runners_replication,
         runners_resilience,

@@ -61,6 +61,48 @@ WELL_KNOWN_ASES: tuple[AutonomousSystem, ...] = (
 )
 
 
+#: Hosting-provider labels per ASN.  A *hoster* is the failure domain of
+#: a correlated outage (Tables 1-2): sibling ASNs operated by one
+#: provider — e.g. both SAKURA networks — collapse into a single label,
+#: so removing a hoster removes every instance across all of its ASes.
+HOSTER_OF_ASN: dict[int, str] = {
+    16509: "Amazon",
+    13335: "Cloudflare",
+    9370: "Sakura Internet",
+    9371: "Sakura Internet",
+    16276: "OVH",
+    14061: "DigitalOcean",
+    12876: "Scaleway",
+    24940: "Hetzner",
+    7506: "GMO Internet",
+    20473: "Choopa",
+    8075: "Microsoft",
+    12322: "Free",
+    2516: "KDDI",
+    15169: "Google",
+    2914: "NTT",
+    63949: "Linode",
+    197540: "netcup",
+    51167: "Contabo",
+    49981: "WorldStream",
+}
+
+
+def hoster_of_asn(asn: int | None, as_name: str | None = None) -> str:
+    """Collapse an ASN to its hosting-provider label.
+
+    Unknown ASNs fall back to the AS name (if given) or a synthetic
+    ``AS<asn>`` label, so every instance lands in *some* failure domain
+    — a provider outside the well-known registry is simply its own
+    hoster.
+    """
+    if asn is not None and asn in HOSTER_OF_ASN:
+        return HOSTER_OF_ASN[asn]
+    if as_name:
+        return as_name
+    return f"AS{asn}" if asn is not None else "unknown"
+
+
 #: Countries hosting instances, roughly ordered by the paper's Fig. 5.
 DEFAULT_COUNTRIES: tuple[str, ...] = (
     "JP",

@@ -171,6 +171,22 @@ EXPERIMENTS: dict[str, Experiment] = {
             "benchmarks/bench_table2_top_instances.py",
         ),
         Experiment(
+            "correlated",
+            "Correlated hoster and country outages",
+            "A handful of hosting providers and countries sit behind most instances "
+            "(Figs. 5/13, Tables 1-2); one provider outage removes a correlated set.",
+            ("repro.engine.failures", "repro.engine.sweep", "repro.core.hosting"),
+            "benchmarks/bench_failure_models.py",
+        ),
+        Experiment(
+            "churn",
+            "Availability under temporal churn",
+            "Instances go down and come back on the empirical outage distributions "
+            "(Figs. 7-10); replication must survive churn, not just monotone removal.",
+            ("repro.engine.failures", "repro.engine.sweep", "repro.fediverse.uptime"),
+            "benchmarks/bench_temporal_churn.py",
+        ),
+        Experiment(
             "headline",
             "Section 4.1 concentration headlines",
             "Top 5% of instances hold ~90% of users and ~95% of toots.",

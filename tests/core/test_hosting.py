@@ -56,8 +56,19 @@ class TestBreakdowns:
         assert by_name["Amazon.com, Inc."].users == 400
         assert by_name["OVH SAS"].instances == 2
 
+    def test_hoster_breakdown_maps_asns_to_provider_labels(self):
+        shares = hosting.hoster_breakdown(make_dataset())
+        by_name = {share.key: share for share in shares}
+        # known ASNs collapse to provider labels, not raw AS names
+        assert by_name["Amazon"].users == 400
+        assert by_name["Amazon"].instances == 2
+        assert by_name["Sakura Internet"].users == 400
+        assert by_name["OVH"].instances == 2
+        assert "Amazon.com, Inc." not in by_name
+
     def test_top_limit(self):
         assert len(hosting.country_breakdown(make_dataset(), top=2)) == 2
+        assert len(hosting.hoster_breakdown(make_dataset(), top=1)) == 1
 
     def test_top_as_user_share(self):
         share = hosting.top_as_user_share(make_dataset(), top=2)

@@ -233,6 +233,86 @@ class TestResolution:
             availability_curves(placements, failures, shard_size=0, workers=4)
 
 
+# -- new failure models: correlated groups and temporal schedules -----------------
+
+
+class TestNewModelSharding:
+    """The additive loss fold covers the correlated/temporal models too.
+
+    Temporal schedules are non-monotone — domains go down and come back —
+    yet each tick is one single-step column of integer losses, so the
+    sharded streaming path must stay bit-identical at every shard size.
+    """
+
+    def _models(self, corpus):
+        from repro.engine import CountryRemoval, HosterRemoval, ScheduledDowntime, TemporalChurn
+
+        toots, domains, _, _ = corpus
+        rng = np.random.default_rng(7)
+        asn_of = {d: int(a) for d, a in zip(domains, rng.integers(1, 6, len(domains)))}
+        hoster_of = {d: f"H{a % 3}" for d, a in asn_of.items()}
+        country_of = {d: ("JP", "US", "FR")[i % 3] for i, d in enumerate(domains)}
+        return [
+            HosterRemoval(hoster_of, sorted(set(hoster_of.values())), steps=3, name="hosters"),
+            CountryRemoval(country_of, ("JP", "US", "FR"), steps=3, name="countries"),
+            ScheduledDowntime(
+                # non-monotone: overlapping outages with recoveries
+                {
+                    domains[0]: [(1, 4), (8, 11)],
+                    domains[1]: [(2, 3)],
+                    domains[5]: [(5, 12)],
+                    domains[9]: [(3, 6), (7, 9)],
+                },
+                steps=12,
+                name="scheduled",
+            ),
+            TemporalChurn(
+                domains,
+                (0.5, 1.0, 2.0, 4.0),
+                {d: 0.1 + 0.04 * i for i, d in enumerate(domains)},
+                steps=15,
+                horizon_days=20.0,
+                seed=4,
+                name="churn",
+            ),
+        ]
+
+    @pytest.mark.parametrize("shard_size", SHARD_SIZES)
+    def test_every_backend_matches_unsharded(self, corpus, shard_size):
+        models = self._models(corpus)
+        for label, placements in backends(corpus).items():
+            expected = availability_curves(placements, models, shard_size=0)
+            got = availability_curves(placements, models, shard_size=shard_size)
+            assert got == expected, (label, shard_size)
+
+    @pytest.mark.parametrize("shard_size", (1, PRIME_SHARD))
+    def test_threaded_temporal_matches_serial(self, corpus, shard_size):
+        models = self._models(corpus)
+        placements = backends(corpus)["weighted-random"]
+        serial = availability_curves(placements, models, shard_size=shard_size)
+        threaded = availability_curves(
+            placements, models, shard_size=shard_size, workers=3
+        )
+        assert threaded == serial
+
+    def test_temporal_loss_table_matches_monolithic(self, corpus):
+        """streaming_losses over tick columns == the monolithic batch, bit for bit."""
+        from repro.engine import temporal_removal_matrix
+        from repro.engine.kernels import losses_per_step_batch
+
+        models = self._models(corpus)
+        temporal = [m for m in models if m.temporal]
+        placements = backends(corpus)["random"]
+        incidence = TootIncidence.from_placements(placements)
+        sharded = ShardedIncidence.from_arrays(placements.arrays, PRIME_SHARD)
+        for model in temporal:
+            removal_matrix = temporal_removal_matrix(model.down_matrix(incidence.lookup))
+            steps = np.ones(removal_matrix.shape[1], dtype=np.int64)
+            expected = losses_per_step_batch(incidence.matrix, removal_matrix, steps)
+            got = streaming_losses(sharded, removal_matrix, steps)
+            assert np.array_equal(got, expected), model.name
+
+
 # -- streaming losses: the additive composition law -------------------------------
 
 

@@ -111,7 +111,13 @@ class TestFigureSeries:
 
 class TestExperimentRegistry:
     def test_every_figure_and_table_registered(self):
-        expected = {f"fig{i}" for i in range(1, 17)} | {"table1", "table2", "headline"}
+        expected = {f"fig{i}" for i in range(1, 17)} | {
+            "table1",
+            "table2",
+            "headline",
+            "correlated",
+            "churn",
+        }
         assert expected == set(EXPERIMENTS)
 
     def test_every_experiment_has_a_benchmark_and_modules(self):

@@ -46,6 +46,16 @@ class TestParser:
         assert args.shard_size == 100_000
         assert args.workers == 4
 
+    def test_run_accepts_churn_knobs(self):
+        args = build_parser().parse_args(
+            ["run", "churn", "--churn-ticks", "24", "--churn-seeds", "3", "4"]
+        )
+        assert args.churn_ticks == 24
+        assert args.churn_seeds == [3, 4]
+        defaults = build_parser().parse_args(["run", "churn"])
+        assert defaults.churn_ticks is None
+        assert defaults.churn_seeds is None
+
     def test_every_subcommand_dispatches_via_func(self):
         """set_defaults(func=...) dispatch: no command can silently fall through."""
         for argv in (
@@ -152,6 +162,20 @@ class TestRunCommand:
         payload = json.loads((out_dir / "fig15.json").read_text())
         assert payload["metadata"]["shard_size"] == 13
         assert payload["metadata"]["workers"] == 2
+
+    def test_run_forwards_churn_knobs_into_metadata(self, tmp_path, capsys):
+        out_dir = tmp_path / "churned"
+        assert (
+            main(["run", "churn", "--preset", "tiny", "--seed", "7",
+                  "--churn-ticks", "12", "--churn-seeds", "3", "4",
+                  "--json", str(out_dir)])
+            == 0
+        )
+        capsys.readouterr()
+        payload = json.loads((out_dir / "churn.json").read_text())
+        assert payload["metadata"]["churn_ticks"] == 12
+        assert payload["metadata"]["churn_seeds"] == "3,4"
+        assert payload["scalars"]["churn_ticks"] == 12
 
     def test_collect_then_run_corpus_matches_in_memory_run(self, tmp_path, capsys):
         """collect --corpus + run --corpus reproduce the record path bit for bit."""
