@@ -42,7 +42,7 @@ from repro.crawler import (
 from repro.datasets import GraphDataset, InstancesDataset, TootsDataset, TwitterBaselines
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.corpus import CorpusStore
+    from repro.corpus import CorpusStore, GraphStore
 
 __version__ = "1.0.0"
 
@@ -74,6 +74,10 @@ class CollectedDatasets:
     #: disk (``collect_datasets(..., corpus_dir=...)``); ``None`` on the
     #: in-memory record path.
     corpus: "CorpusStore | None" = None
+    #: The on-disk edge-shard store behind ``graphs`` when the follower
+    #: crawl streamed to disk (``collect_datasets(..., graph_dir=...)``);
+    #: ``None`` on the in-memory record path.
+    graph_store: "GraphStore | None" = None
 
 
 def collect_datasets(
@@ -82,6 +86,8 @@ def collect_datasets(
     crawl_threads: int = 8,
     corpus_dir: "str | Path | None" = None,
     corpus_shard_size: int | None = None,
+    graph_dir: "str | Path | None" = None,
+    graph_shard_size: int | None = None,
 ) -> CollectedDatasets:
     """Run the full measurement pipeline against a simulated fediverse.
 
@@ -104,6 +110,14 @@ def collect_datasets(
     ``collect``) is **reused** instead of re-crawled, after checking its
     crawled instances belong to this scenario — collect once, run many.
     ``corpus_shard_size`` overrides the default toots-per-shard split.
+
+    ``graph_dir`` gives the follower crawl the same treatment: edges
+    stream into integer-coded shards (:mod:`repro.corpus.graph`) as each
+    ego network is paged, ``graph_store`` carries the opened store, and
+    the networkx-backed ``graphs`` dataset is rebuilt from the store's
+    decoded edges (identical graph, since the store preserves crawl
+    order).  An existing graph manifest is reused the same way a corpus
+    one is.  ``graph_shard_size`` overrides the edges-per-shard split.
     """
     transport = SimulatedTransport(network)
     monitor = InstanceMonitor(transport, network.domains(), monitor_interval_minutes)
@@ -138,8 +152,37 @@ def collect_datasets(
         toots = TootsDataset.from_corpus(corpus)
 
     graph_crawler = FollowerGraphCrawler(transport, threads=crawl_threads)
-    graphs = GraphDataset.from_crawl(graph_crawler.crawl())
+    graph_store = None
+    if graph_dir is None:
+        graphs = GraphDataset.from_crawl(graph_crawler.crawl())
+    else:
+        from repro.corpus import DEFAULT_GRAPH_SHARD_SIZE, GraphStore, GraphWriter
+
+        if (Path(graph_dir) / "manifest.json").exists():
+            graph_store = GraphStore(graph_dir)
+            unknown = set(graph_store.edges_collected) - set(network.domains())
+            if unknown:
+                from repro.errors import DatasetError
+
+                raise DatasetError(
+                    f"the graph store at {graph_dir} was crawled from a different "
+                    f"scenario ({len(unknown)} unknown instance domain(s), e.g. "
+                    f"{sorted(unknown)[0]!r}); point --graph at a fresh directory"
+                )
+        else:
+            writer = GraphWriter(
+                graph_dir,
+                shard_size=graph_shard_size or DEFAULT_GRAPH_SHARD_SIZE,
+            )
+            crawl = graph_crawler.crawl(sink=writer)
+            graph_store = writer.finalise(crawl_minute=crawl.crawl_minute)
+        graphs = GraphDataset.from_edges(graph_store.iter_edge_handles())
 
     return CollectedDatasets(
-        instances=instances, toots=toots, graphs=graphs, network=network, corpus=corpus
+        instances=instances,
+        toots=toots,
+        graphs=graphs,
+        network=network,
+        corpus=corpus,
+        graph_store=graph_store,
     )

@@ -18,7 +18,10 @@ view over the same runners' headline scalars, and anything printed here
 can also be produced programmatically.  ``collect --corpus`` and ``run
 --corpus`` stream the toot crawl into the columnar corpus store
 (:mod:`repro.corpus`): same curves bit for bit, O(shard) instead of
-O(corpus) Python objects.
+O(corpus) Python objects.  ``--graph`` gives the follower crawl the
+same treatment (on-disk edge shards), and ``collect --columnar``
+generates the scenario as numpy columns and streams them straight to
+disk — the only route to the 10M-toot ``xlarge`` preset.
 """
 
 from __future__ import annotations
@@ -32,8 +35,9 @@ from typing import Sequence
 from repro import build_scenario, collect_datasets
 from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
 from repro.datasets import Anonymiser, save_edges, save_snapshots, save_toot_records
-from repro.errors import AnalysisError, DatasetError
+from repro.errors import AnalysisError, ConfigurationError, DatasetError
 from repro.experiments import ExperimentContext, has_runner, run_experiments
+from repro.fediverse import build_columnar_scenario, preset_names
 from repro.reporting import EXPERIMENTS, format_percentage, format_table
 
 #: The experiments whose scalars make up the ``report`` headline table.
@@ -43,9 +47,12 @@ REPORT_EXPERIMENTS = ("headline", "fig5", "fig7", "fig14")
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset",
-        choices=("tiny", "small", "medium", "large"),
+        choices=preset_names(),
         default="tiny",
-        help="scenario size preset (default: tiny; 'large' targets 1M+ toots)",
+        help=(
+            "scenario size preset (default: tiny; 'large' targets 1M+ toots, "
+            "'xlarge' 10M+ and needs --columnar)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=7, help="scenario random seed (default: 7)")
     parser.add_argument(
@@ -101,6 +108,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="toots per corpus shard (default: the corpus writer's 250k)",
+    )
+    collect.add_argument(
+        "--graph",
+        metavar="DIR",
+        default=None,
+        dest="graph_dir",
+        help=(
+            "also stream the follower crawl into an on-disk edge-shard store "
+            "at DIR (integer-coded .npz shards + manifest)"
+        ),
+    )
+    collect.add_argument(
+        "--columnar",
+        action="store_true",
+        help=(
+            "generate the scenario as numpy columns and stream them straight "
+            "into the corpus (and --graph) without materialising the object "
+            "network — required for the 'xlarge' preset"
+        ),
     )
     _add_scenario_arguments(collect)
     collect.set_defaults(func=_command_collect)
@@ -165,6 +191,20 @@ def build_parser() -> argparse.ArgumentParser:
             "stream the toot crawl into a columnar corpus and build placements "
             "from its columns (bit-identical curves, O(shard) memory); with no "
             "DIR the corpus lives in a temporary directory for the run"
+        ),
+    )
+    run.add_argument(
+        "--graph",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        dest="graph_dir",
+        help=(
+            "stream the follower crawl into an on-disk edge-shard store and "
+            "read subscription follower sets from it (no networkx on the "
+            "placement path); with no DIR the store lives in a temporary "
+            "directory for the run"
         ),
     )
     run.add_argument(
@@ -254,6 +294,29 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_columnar(args: argparse.Namespace) -> "tuple[object, object | None]":
+    """Scenario → corpus (→ graph) without materialising the object network."""
+    from repro.corpus import (
+        DEFAULT_CORPUS_SHARD_SIZE,
+        CorpusWriter,
+        GraphWriter,
+    )
+
+    scenario = build_columnar_scenario(args.preset, seed=args.seed)
+    minute = scenario.config.window_minutes - 1
+    writer = CorpusWriter(
+        args.corpus_dir, shard_size=args.shard_toots or DEFAULT_CORPUS_SHARD_SIZE
+    )
+    scenario.write_corpus(writer, at_minute=minute)
+    store = writer.finalise(crawl_minute=minute)
+    graph_store = None
+    if args.graph_dir is not None:
+        graph_writer = GraphWriter(args.graph_dir)
+        scenario.write_graph(graph_writer, at_minute=minute)
+        graph_store = graph_writer.finalise(crawl_minute=minute)
+    return store, graph_store
+
+
 def _command_collect(args: argparse.Namespace) -> int:
     if (Path(args.corpus_dir) / "manifest.json").exists():
         print(
@@ -262,18 +325,36 @@ def _command_collect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    network = build_scenario(args.preset, seed=args.seed)
-    try:
-        data = collect_datasets(
-            network,
-            monitor_interval_minutes=args.monitor_interval,
-            corpus_dir=args.corpus_dir,
-            corpus_shard_size=args.shard_toots,
+    if args.graph_dir is not None and (Path(args.graph_dir) / "manifest.json").exists():
+        print(
+            f"error: {args.graph_dir} already holds a graph manifest; "
+            "choose a fresh directory (or pass it to 'run --graph' to reuse it)",
+            file=sys.stderr,
         )
-    except DatasetError as exc:
+        return 2
+    if args.preset == "xlarge" and not args.columnar:
+        print(
+            "error: the 'xlarge' preset only works with --columnar "
+            "(10M toots never fit through the object network)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.columnar:
+            store, graph_store = _collect_columnar(args)
+        else:
+            network = build_scenario(args.preset, seed=args.seed)
+            data = collect_datasets(
+                network,
+                monitor_interval_minutes=args.monitor_interval,
+                corpus_dir=args.corpus_dir,
+                corpus_shard_size=args.shard_toots,
+                graph_dir=args.graph_dir,
+            )
+            store, graph_store = data.corpus, data.graph_store
+    except (ConfigurationError, DatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    store = data.corpus
     rows = [
         ["unique toots", store.n_toots],
         ["observations (pre-dedup)", store.n_observations],
@@ -283,6 +364,12 @@ def _command_collect(args: argparse.Namespace) -> int:
         ["authors", int(store.authors.shape[0])],
         ["on-disk size (MiB)", round(store.nbytes() / 2**20, 1)],
     ]
+    if graph_store is not None:
+        rows += [
+            ["graph edges", graph_store.n_edges],
+            ["graph nodes", graph_store.n_nodes],
+            ["graph on-disk size (MiB)", round(graph_store.nbytes() / 2**20, 1)],
+        ]
     print(
         format_table(
             ["corpus", "value"],
@@ -291,8 +378,13 @@ def _command_collect(args: argparse.Namespace) -> int:
         )
     )
     print(f"wrote {store.n_shards} shard(s) + manifest to {store.path}/")
+    if graph_store is not None:
+        print(
+            f"wrote {graph_store.n_shards} graph shard(s) + manifest to {graph_store.path}/"
+        )
+    graph_flag = f" --graph {graph_store.path}" if graph_store is not None else ""
     print(f"run experiments from it with: repro-mastodon run fig15 fig16 "
-          f"--preset {args.preset} --seed {args.seed} --corpus {store.path}")
+          f"--preset {args.preset} --seed {args.seed} --corpus {store.path}{graph_flag}")
     return 0
 
 
@@ -334,6 +426,12 @@ def _command_run(args: argparse.Namespace) -> int:
         scratch_corpus = tempfile.TemporaryDirectory(prefix="repro-corpus-")
         corpus_dir = scratch_corpus.name
         print(f"streaming the crawl to a temporary corpus at {corpus_dir}/")
+    graph_dir = args.graph_dir
+    scratch_graph = None
+    if graph_dir == "":
+        scratch_graph = tempfile.TemporaryDirectory(prefix="repro-graph-")
+        graph_dir = scratch_graph.name
+        print(f"streaming the follower crawl to a temporary graph store at {graph_dir}/")
 
     churn_kwargs: dict[str, object] = {}
     if args.churn_ticks is not None:
@@ -347,16 +445,19 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         workers=args.workers,
         corpus_dir=corpus_dir,
+        graph_dir=graph_dir,
         **churn_kwargs,
     )
     try:
         results = run_experiments(ids, ctx=ctx)
-    except (AnalysisError, DatasetError) as exc:
+    except (AnalysisError, ConfigurationError, DatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:
         if scratch_corpus is not None:
             scratch_corpus.cleanup()
+        if scratch_graph is not None:
+            scratch_graph.cleanup()
 
     for result in results.values():
         print(result.render_text())

@@ -23,6 +23,12 @@ the corpus columnar from the first crawled page onward:
   materialises anything else; :class:`TootColumns` is the per-shard
   column bundle and :meth:`CorpusStore.urls` a corpus-wide lazy
   URL sequence;
+* :class:`GraphWriter` / :class:`GraphStore` — the same treatment for
+  the follower graph (:mod:`repro.corpus.graph`): the graph crawler
+  streams edges into per-instance spools, ``finalise()`` interns the
+  handles in first-appearance order and flushes integer edge shards, and
+  the store answers the placement/resilience queries (follower-domain
+  sets, adjacency matrices) without ever building a networkx graph;
 * :mod:`repro.corpus.placement` — placement construction straight from
   columns: :meth:`PlacementArrays.from_corpus
   <repro.engine.placement.PlacementArrays.from_corpus>` builds home
@@ -38,6 +44,12 @@ them — bit-identical to the record-list path.
 """
 
 from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
+from repro.corpus.graph import (
+    DEFAULT_GRAPH_SHARD_SIZE,
+    GRAPH_SCHEMA,
+    GraphStore,
+    GraphWriter,
+)
 from repro.corpus.store import CorpusStore, CorpusUrls
 from repro.corpus.writer import DEFAULT_CORPUS_SHARD_SIZE, CorpusWriter
 from repro.corpus.placement import (
@@ -53,6 +65,10 @@ __all__ = [
     "CorpusUrls",
     "CorpusWriter",
     "DEFAULT_CORPUS_SHARD_SIZE",
+    "DEFAULT_GRAPH_SHARD_SIZE",
+    "GRAPH_SCHEMA",
+    "GraphStore",
+    "GraphWriter",
     "TootColumns",
     "build_no_replication_from_corpus",
     "build_random_replication_from_corpus",

@@ -110,14 +110,17 @@ def build_random_replication_from_corpus(
 
 
 def build_subscription_replication_from_corpus(
-    store: CorpusStore, graphs: "GraphDataset"
+    store: CorpusStore, graphs: "GraphDataset | GraphStore"
 ) -> PlacementArrays:
     """Each toot is replicated to the instances hosting the author's followers.
 
     The corpus ``author_code`` column already encodes authors in
     first-appearance order — the same coding the record-list builder
     derives from its accounts pass — so the per-author follower table
-    expands over it directly.
+    expands over it directly.  ``graphs`` may be the networkx-backed
+    dataset or an on-disk :class:`~repro.corpus.graph.GraphStore`;
+    :func:`follower_domain_sets` dispatches and both produce the same
+    table, so the placements are identical either way.
     """
     _require_toots(store)
     follower_domains = follower_domain_sets(store.authors.tolist(), graphs)

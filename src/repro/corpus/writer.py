@@ -90,13 +90,18 @@ def _write_strings(directory: Path, name: str, values: list[str]) -> None:
 
 
 class _SpoolReader:
-    """Row-range access to one sealed spool without loading it whole."""
+    """Row-range access to one sealed spool without loading it whole.
 
-    def __init__(self, directory: Path) -> None:
+    ``length_column`` names the string column whose offset table defines
+    the spool's row count (``url`` for toot spools, ``follower`` for the
+    graph spools in :mod:`repro.corpus.graph`).
+    """
+
+    def __init__(self, directory: Path, length_column: str = "url") -> None:
         self._dir = directory
         self._bytes: dict[str, np.ndarray] = {}
         self._offsets: dict[str, np.ndarray] = {}
-        self.n_rows = int(self._offset_table("url").size - 1)
+        self.n_rows = int(self._offset_table(length_column).size - 1)
 
     def _offset_table(self, name: str) -> np.ndarray:
         if name not in self._offsets:
@@ -160,8 +165,27 @@ class _Interner:
         return known
 
 
+_SPOOL_DTYPES = dict(
+    toot_id=np.int64,
+    created_minute=np.int64,
+    is_boost=np.bool_,
+    sensitive=np.bool_,
+    media_attachments=np.int32,
+    favourites=np.int32,
+)
+
+
 class _InstanceSpool:
-    """Column buffers for one instance's federated-timeline crawl."""
+    """Column buffers for one instance's federated-timeline crawl.
+
+    Two ingestion styles share the buffers: row-at-a-time (``add_page``
+    / ``add_records``, the crawler path) appends scalars, while the
+    vectorised path (``add_columns``, the scenario-to-corpus stream)
+    appends whole numpy chunks for the value columns so no per-toot
+    Python object is ever built.  Value rows are ordered scalar rows
+    first, then chunk rows, so mixing the two styles within one instance
+    is rejected to keep row order well-defined.
+    """
 
     def __init__(self, domain: str) -> None:
         self.domain = domain
@@ -176,9 +200,23 @@ class _InstanceSpool:
         self.favourites: list[int] = []
         self.hashtag_flat: list[str] = []
         self.hashtag_lengths: list[int] = []
+        self._value_chunks: dict[str, list[np.ndarray]] = {
+            name: [] for name in _SPOOL_VALUE_COLUMNS
+        }
+        self._length_chunks: list[np.ndarray] = []
+        self._mode: str | None = None
+
+    def _enter_mode(self, mode: str) -> None:
+        if self._mode is None:
+            self._mode = mode
+        elif self._mode != mode:
+            raise DatasetError(
+                f"instance {self.domain!r} mixes row and column spool ingestion"
+            )
 
     def add_page(self, payload: Iterable[Mapping[str, Any]]) -> int:
         """Encode one timeline-API page (the raw payload dicts)."""
+        self._enter_mode("rows")
         added = 0
         for item in payload:
             self.url.append(str(item["url"]))
@@ -198,6 +236,7 @@ class _InstanceSpool:
 
     def add_records(self, records: Iterable["TootRecord"]) -> int:
         """Encode already-built :class:`TootRecord` objects (export paths)."""
+        self._enter_mode("rows")
         added = 0
         for record in records:
             self.url.append(record.url)
@@ -214,6 +253,59 @@ class _InstanceSpool:
             added += 1
         return added
 
+    def add_columns(
+        self,
+        *,
+        urls: list[str],
+        accounts: list[str],
+        author_domains: list[str],
+        toot_id: np.ndarray,
+        created_minute: np.ndarray,
+        is_boost: np.ndarray,
+        sensitive: np.ndarray,
+        media_attachments: np.ndarray,
+        favourites: np.ndarray,
+        hashtag_flat: list[str],
+        hashtag_lengths: np.ndarray,
+    ) -> int:
+        """Append whole columns (the vectorised scenario-to-corpus path).
+
+        String columns arrive as Python lists (the spool's string format
+        joins them once at seal time); value columns arrive as numpy
+        arrays and are buffered as chunks — no per-toot scalars.
+        """
+        self._enter_mode("columns")
+        rows = len(urls)
+        values = dict(
+            toot_id=toot_id,
+            created_minute=created_minute,
+            is_boost=is_boost,
+            sensitive=sensitive,
+            media_attachments=media_attachments,
+            favourites=favourites,
+        )
+        for name, column in values.items():
+            array = np.asarray(column)
+            if array.shape != (rows,):
+                raise DatasetError(
+                    f"column {name!r} has {array.shape[0] if array.ndim else 0} rows, "
+                    f"expected {rows}"
+                )
+            self._value_chunks[name].append(array.astype(_SPOOL_DTYPES[name], copy=False))
+        lengths = np.asarray(hashtag_lengths)
+        if lengths.shape != (rows,):
+            raise DatasetError("hashtag_lengths must have one entry per row")
+        if int(lengths.sum()) != len(hashtag_flat):
+            raise DatasetError("hashtag_lengths do not sum to len(hashtag_flat)")
+        if len(accounts) != rows or len(author_domains) != rows:
+            raise DatasetError("string columns must have one entry per row")
+        self._length_chunks.append(lengths.astype(np.int64, copy=False))
+        self.url.extend(urls)
+        self.account.extend(accounts)
+        self.author_domain.extend(author_domains)
+        self.hashtag_flat.extend(hashtag_flat)
+        return rows
+
     def seal(self, directory: Path) -> None:
         """Write the buffers to a spool directory, one column at a time.
 
@@ -222,21 +314,22 @@ class _InstanceSpool:
         page buffers.
         """
         directory.mkdir(parents=True, exist_ok=True)
-        dtypes = dict(
-            toot_id=np.int64,
-            created_minute=np.int64,
-            is_boost=np.bool_,
-            sensitive=np.bool_,
-            media_attachments=np.int32,
-            favourites=np.int32,
-        )
         for name in _SPOOL_VALUE_COLUMNS:
-            np.save(directory / f"{name}.npy", np.asarray(getattr(self, name), dtypes[name]))
+            parts = [np.asarray(getattr(self, name), _SPOOL_DTYPES[name])]
+            parts += self._value_chunks[name]
+            column = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            np.save(directory / f"{name}.npy", column)
             setattr(self, name, [])
-        indptr = np.zeros(len(self.hashtag_lengths) + 1, dtype=np.int64)
-        np.cumsum(self.hashtag_lengths, out=indptr[1:])
+            self._value_chunks[name] = []
+        length_parts = [np.asarray(self.hashtag_lengths, np.int64)] + self._length_chunks
+        lengths = (
+            length_parts[0] if len(length_parts) == 1 else np.concatenate(length_parts)
+        )
+        indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
         np.save(directory / "hashtag_indptr.npy", indptr)
         self.hashtag_lengths = []
+        self._length_chunks = []
         for name in ("url", "account", "author_domain", "hashtag_flat"):
             _write_strings(directory, name, getattr(self, name))
             setattr(self, name, [])
@@ -289,6 +382,17 @@ class CorpusWriter:
     def add_records(self, domain: str, records: Iterable["TootRecord"]) -> int:
         """Encode records observed on ``domain`` (non-crawler ingestion)."""
         return self._spool(domain).add_records(records)
+
+    def add_columns(self, domain: str, **columns: Any) -> int:
+        """Append whole columns observed on ``domain`` (vectorised ingestion).
+
+        Accepts the keyword columns of :meth:`_InstanceSpool.add_columns`
+        — string columns as Python lists, value columns as numpy arrays
+        — and is how :meth:`ColumnarScenario.write_corpus
+        <repro.fediverse.columnar.ColumnarScenario.write_corpus>` streams
+        generated timelines without building payload dicts.
+        """
+        return self._spool(domain).add_columns(**columns)
 
     def end_instance(self, domain: str) -> None:
         """Seal ``domain``'s spool to disk (its crawl completed cleanly).

@@ -11,11 +11,30 @@ directed edges ``follower -> followed``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import HTTPError
+from repro.errors import DatasetError, HTTPError
 from repro.crawler.http import SimulatedTransport
 from repro.crawler.scheduler import CrawlScheduler, RateLimiter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.corpus.graph import GraphWriter
+
+
+def split_handle(handle: str) -> tuple[str, str]:
+    """Split a ``user@domain`` handle into its username and domain parts.
+
+    Malformed handles (no ``@``, or an empty side) raise
+    :class:`~repro.errors.DatasetError` naming the offending handle, so
+    corrupt crawl output fails loudly instead of silently passing the
+    whole handle off as a "domain".
+    """
+    username, separator, domain = handle.rpartition("@")
+    if not separator or not username or not domain:
+        raise DatasetError(
+            f"malformed account handle (expected 'user@domain'): {handle!r}"
+        )
+    return username, domain
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,12 +47,12 @@ class FollowEdgeRecord:
     @property
     def follower_domain(self) -> str:
         """Domain part of the follower handle."""
-        return self.follower.rsplit("@", 1)[1]
+        return split_handle(self.follower)[1]
 
     @property
     def followed_domain(self) -> str:
         """Domain part of the followed handle."""
-        return self.followed.rsplit("@", 1)[1]
+        return split_handle(self.followed)[1]
 
     @property
     def is_remote(self) -> bool:
@@ -43,12 +62,19 @@ class FollowEdgeRecord:
 
 @dataclass
 class GraphCrawlResult:
-    """The outcome of a follower-graph crawl."""
+    """The outcome of a follower-graph crawl.
+
+    In sink mode (``crawl(sink=...)``) the edges stream into a
+    :class:`~repro.corpus.graph.GraphWriter` instead of accumulating
+    here; ``edges`` stays empty and ``edge_counts`` records how many
+    edges each instance contributed.
+    """
 
     crawl_minute: int
     edges: list[FollowEdgeRecord] = field(default_factory=list)
     accounts_seen: set[str] = field(default_factory=set)
     failures: dict[str, str] = field(default_factory=dict)
+    edge_counts: dict[str, int] = field(default_factory=dict)
 
     def unique_edges(self) -> set[tuple[str, str]]:
         """Return the de-duplicated set of (follower, followed) pairs."""
@@ -126,14 +152,34 @@ class FollowerGraphCrawler:
             edges.extend(self.crawl_followers(domain, username, at_minute))
         return edges
 
+    def _crawl_into(self, sink: "GraphWriter", domain: str, at_minute: int) -> int:
+        """Stream one instance's ego networks straight into a graph sink."""
+        added = 0
+        for username in self.list_accounts(domain, at_minute):
+            edges = self.crawl_followers(domain, username, at_minute)
+            added += sink.add_edges(
+                domain, ((edge.follower, edge.followed) for edge in edges)
+            )
+        sink.end_instance(domain)
+        return added
+
     # -- full crawl -----------------------------------------------------------------
 
     def crawl(
         self,
         domains: Iterable[str] | None = None,
         at_minute: int | None = None,
+        sink: "GraphWriter | None" = None,
     ) -> GraphCrawlResult:
-        """Crawl follower lists across every reachable instance."""
+        """Crawl follower lists across every reachable instance.
+
+        With a ``sink`` (a :class:`~repro.corpus.graph.GraphWriter`)
+        edges stream to per-instance spools as they are paged instead of
+        accumulating as :class:`FollowEdgeRecord` lists; instances whose
+        crawl fails midway are discarded from the sink, mirroring how a
+        failed instance contributes nothing to the record path either.
+        The caller finalises the sink once the crawl returns.
+        """
         network = self._transport.network
         if at_minute is None:
             at_minute = network.clock.window_minutes - 1
@@ -149,16 +195,23 @@ class FollowerGraphCrawler:
             reachable.append(domain)
 
         result = GraphCrawlResult(crawl_minute=at_minute)
-        report = self._scheduler.run(
-            reachable, lambda domain: self.crawl_instance(domain, at_minute)
-        )
+        if sink is None:
+            worker = lambda domain: self.crawl_instance(domain, at_minute)  # noqa: E731
+        else:
+            worker = lambda domain: self._crawl_into(sink, domain, at_minute)  # noqa: E731
+        report = self._scheduler.run(reachable, worker)
         for outcome in report.outcomes:
             if outcome.ok:
-                edges: list[FollowEdgeRecord] = outcome.result  # type: ignore[assignment]
-                result.edges.extend(edges)
-                for edge in edges:
-                    result.accounts_seen.add(edge.follower)
-                    result.accounts_seen.add(edge.followed)
+                if sink is None:
+                    edges: list[FollowEdgeRecord] = outcome.result  # type: ignore[assignment]
+                    result.edges.extend(edges)
+                    for edge in edges:
+                        result.accounts_seen.add(edge.follower)
+                        result.accounts_seen.add(edge.followed)
+                else:
+                    result.edge_counts[outcome.key] = int(outcome.result)  # type: ignore[arg-type]
             else:
+                if sink is not None:
+                    sink.discard_instance(outcome.key)
                 result.failures[outcome.key] = str(outcome.error)
         return result

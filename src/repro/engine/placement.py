@@ -55,6 +55,7 @@ import numpy as np
 from repro.errors import AnalysisError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.corpus.graph import GraphStore
     from repro.corpus.store import CorpusStore
 
 #: Row-chunk sizing for the batched draws: keep the per-chunk key matrix
@@ -162,7 +163,7 @@ class PlacementArrays:
         store: "CorpusStore",
         kind: str = "none",
         *,
-        graphs: "GraphDataset | None" = None,
+        graphs: "GraphDataset | GraphStore | None" = None,
         candidate_domains: Sequence[str] | None = None,
         n_replicas: int = 0,
         seed: int = 0,
@@ -236,14 +237,23 @@ def build_no_replication(toots: "TootsDataset") -> PlacementArrays:
 
 
 def follower_domain_sets(
-    authors: "Iterable[str]", graphs: "GraphDataset"
+    authors: "Iterable[str]", graphs: "GraphDataset | GraphStore"
 ) -> dict[str, set[str]]:
     """Author → follower-domain sets in **one pass over the graph's edges**.
 
     ``authors`` may contain duplicates (per-toot account columns); keys
     keep first-appearance order, which both the record and corpus
     subscription builders rely on for identical author coding.
+
+    ``graphs`` is either the networkx-backed
+    :class:`~repro.datasets.graphs.GraphDataset` or an on-disk
+    :class:`~repro.corpus.graph.GraphStore`, whose integer edge shards
+    answer the same question without a networkx graph in memory — the
+    store computes the identical mapping itself.
     """
+    columnar = getattr(graphs, "follower_domain_sets", None)
+    if callable(columnar):
+        return columnar(list(authors))
     follower_graph = graphs.follower_graph
     follower_domains: dict[str, set[str]] = {author: set() for author in authors}
     nodes = follower_graph.nodes
@@ -316,28 +326,48 @@ def subscription_arrays_from_columns(
         count=int(author_indptr[-1]),
     )
 
-    # expand the per-author table to per-toot rows with pure array ops
+    # expand the per-author table to per-toot rows with pure array ops,
+    # chunked over toot ranges so the transient expansion arrays stay
+    # bounded (the xlarge corpus expands to 120M+ replica rows; row-wise
+    # ops make chunking exact)
     n = len(urls)
     lengths = author_counts[toot_author]
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(lengths, out=indptr[1:])
-    total = int(indptr[-1])
-    starts = np.repeat(author_indptr[:-1][toot_author], lengths)
-    within = np.arange(total, dtype=np.int64) - np.repeat(indptr[:-1], lengths)
-    flat = author_flat[starts + within]
-    # drop follower domains equal to the toot's home (the legacy frozenset
-    # union collapsed them); bincount keeps empty rows safe
-    row_ids = np.repeat(np.arange(n), lengths)
-    keep = flat != home[row_ids]
-    kept_lengths = lengths - np.bincount(row_ids[~keep], minlength=n)
+    kept_lengths = np.zeros(n, dtype=np.int64)
+    replica_chunks = []
+    chunk_rows = 1_000_000
+    for lo in range(0, n, chunk_rows):
+        hi = min(n, lo + chunk_rows)
+        seg_lengths = lengths[lo:hi]
+        seg_total = int(indptr[hi] - indptr[lo])
+        if seg_total == 0:
+            continue
+        starts = np.repeat(author_indptr[:-1][toot_author[lo:hi]], seg_lengths)
+        seg_indptr = indptr[lo:hi] - indptr[lo]
+        within = np.arange(seg_total, dtype=np.int64) - np.repeat(seg_indptr, seg_lengths)
+        flat = author_flat[starts + within]
+        # drop follower domains equal to the toot's home (the legacy
+        # frozenset union collapsed them); bincount keeps empty rows safe
+        row_ids = np.repeat(np.arange(hi - lo, dtype=np.int64), seg_lengths)
+        keep = flat != home[lo:hi][row_ids]
+        kept_lengths[lo:hi] = seg_lengths - np.bincount(
+            row_ids[~keep], minlength=hi - lo
+        )
+        replica_chunks.append(flat[keep])
     replica_indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(kept_lengths, out=replica_indptr[1:])
+    replica_indices = (
+        np.concatenate(replica_chunks)
+        if replica_chunks
+        else np.empty(0, dtype=np.int64)
+    )
     return PlacementArrays(
         strategy="subscription-replication",
         toot_urls=urls,
         domains=domains,
         home=home,
-        replica_indices=flat[keep],
+        replica_indices=replica_indices,
         replica_indptr=replica_indptr,
         source_bounds=source_bounds,
     )

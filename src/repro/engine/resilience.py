@@ -53,6 +53,39 @@ class GraphMatrix:
             directed=graph.is_directed(),
         )
 
+    @classmethod
+    def from_graph_store(cls, store, directed: bool = True) -> "GraphMatrix":
+        """Build the adjacency straight from an on-disk edge-shard store.
+
+        ``store`` is a :class:`repro.corpus.graph.GraphStore`; its node
+        intern order matches :func:`build_follower_graph` insertion
+        order, so the resulting matrix is bit-compatible with
+        :meth:`from_networkx` over the equivalent networkx graph.
+        """
+        n = store.n_nodes
+        if n == 0:
+            raise AnalysisError("cannot build a matrix from an empty graph")
+        sources = []
+        targets = []
+        for _, follower, followed in store.iter_edges():
+            sources.append(follower.astype(np.int64, copy=False))
+            targets.append(followed.astype(np.int64, copy=False))
+        src = np.concatenate(sources) if sources else np.empty(0, dtype=np.int64)
+        dst = np.concatenate(targets) if targets else np.empty(0, dtype=np.int64)
+        if not directed:
+            src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        adjacency = sparse.coo_matrix(
+            (np.ones(src.size, dtype=np.int64), (src, dst)), shape=(n, n)
+        ).tocsr()
+        adjacency.data[:] = 1  # duplicate edges must not leave weights > 1
+        nodes = tuple(store.handles.tolist())
+        return cls(
+            adjacency=adjacency,
+            nodes=nodes,
+            index={node: i for i, node in enumerate(nodes)},
+            directed=directed,
+        )
+
     @property
     def n_nodes(self) -> int:
         return self.adjacency.shape[0]
@@ -61,6 +94,8 @@ class GraphMatrix:
 def _as_matrix(graph: "nx.Graph | nx.DiGraph | GraphMatrix") -> GraphMatrix:
     if isinstance(graph, GraphMatrix):
         return graph
+    if hasattr(graph, "shard_edges"):  # duck-typed GraphStore
+        return GraphMatrix.from_graph_store(graph)
     return GraphMatrix.from_networkx(graph)
 
 
@@ -113,7 +148,7 @@ def user_removal_sweep_matrix(
         raise AnalysisError("need at least one removal round")
     if not 0.0 < fraction_per_round <= 1.0:
         raise AnalysisError("fraction_per_round must be in (0, 1]")
-    if not isinstance(graph, GraphMatrix) and graph.number_of_nodes() == 0:
+    if isinstance(graph, nx.Graph) and graph.number_of_nodes() == 0:
         raise AnalysisError("the follower graph is empty")
     gm = _as_matrix(graph)
     initial = gm.n_nodes
@@ -163,7 +198,7 @@ def ranked_removal_sweep_matrix(
     """Vectorised twin of :func:`repro.core.resilience.ranked_removal_sweep`."""
     if steps < 1 or per_step < 1:
         raise AnalysisError("steps and per_step must be positive")
-    if not isinstance(graph, GraphMatrix) and graph.number_of_nodes() == 0:
+    if isinstance(graph, nx.Graph) and graph.number_of_nodes() == 0:
         raise AnalysisError("cannot run a removal sweep on an empty graph")
     gm = _as_matrix(graph)
     initial = gm.n_nodes
@@ -197,7 +232,7 @@ def as_removal_sweep_matrix(
     """Vectorised twin of :func:`repro.core.resilience.as_removal_sweep`."""
     if steps < 1:
         raise AnalysisError("steps must be positive")
-    if not isinstance(graph, GraphMatrix) and graph.number_of_nodes() == 0:
+    if isinstance(graph, nx.Graph) and graph.number_of_nodes() == 0:
         raise AnalysisError("cannot run a removal sweep on an empty graph")
     gm = _as_matrix(graph)
     initial = gm.n_nodes

@@ -268,7 +268,7 @@ class StrategySpec:
     def build_from_corpus(
         self,
         store: "CorpusStore",
-        graphs: "GraphDataset | None" = None,
+        graphs: "GraphDataset | GraphStore | None" = None,
         candidate_domains: Sequence[str] | None = None,
     ) -> PlacementMap:
         """Build the same placement map straight from a columnar corpus.

@@ -69,6 +69,8 @@ class ExperimentContext:
         workers: int | None = None,
         corpus_dir: "str | Path | None" = None,
         corpus_shard_size: int | None = None,
+        graph_dir: "str | Path | None" = None,
+        graph_shard_size: int | None = None,
         churn_ticks: int = CHURN_TICKS,
         churn_seeds: Sequence[int] = CHURN_SEEDS,
     ) -> None:
@@ -88,6 +90,12 @@ class ExperimentContext:
         #: on the fig15/16 path.
         self.corpus_dir = corpus_dir
         self.corpus_shard_size = corpus_shard_size
+        #: When set, the follower crawl streams into an on-disk edge
+        #: store (:mod:`repro.corpus.graph`) and subscription placements
+        #: read follower-domain sets from its integer shards — no
+        #: networkx pass on the placement path.
+        self.graph_dir = graph_dir
+        self.graph_shard_size = graph_shard_size
         #: Temporal-churn sweep shape: probe ticks across the window and
         #: one sampled outage process per bootstrap seed.
         self.churn_ticks = churn_ticks
@@ -152,6 +160,8 @@ class ExperimentContext:
                 monitor_interval_minutes=self.monitor_interval_minutes,
                 corpus_dir=self.corpus_dir,
                 corpus_shard_size=self.corpus_shard_size,
+                graph_dir=self.graph_dir,
+                graph_shard_size=self.graph_shard_size,
             )
             self.counters["collect_datasets"] += 1
         return self._data
@@ -349,13 +359,21 @@ class ExperimentContext:
 
         When the pipeline streamed to a columnar corpus, maps build
         straight from the corpus columns (:meth:`StrategySpec.build_from_corpus`)
-        — bit-identical placements, no record materialisation.
+        — bit-identical placements, no record materialisation.  When the
+        follower crawl streamed to an on-disk graph store too, the
+        subscription strategy reads follower-domain sets from its edge
+        shards instead of walking the networkx graph.
         """
         if spec not in self._placements:
             if self.data.corpus is not None:
+                graphs = (
+                    self.data.graph_store
+                    if self.data.graph_store is not None
+                    else self.data.graphs
+                )
                 placements = spec.build_from_corpus(
                     self.data.corpus,
-                    graphs=self.data.graphs,
+                    graphs=graphs,
                     candidate_domains=self.domains,
                 )
             else:
@@ -424,6 +442,8 @@ class ExperimentContext:
             metadata["workers"] = self.workers
         if self.corpus_dir is not None:
             metadata["corpus_dir"] = str(self.corpus_dir)
+        if self.graph_dir is not None:
+            metadata["graph_dir"] = str(self.graph_dir)
         # churn knobs are stamped only when changed so that experiments
         # untouched by temporal sweeps keep their metadata stable
         if self.churn_ticks != CHURN_TICKS:

@@ -26,7 +26,19 @@ from repro.fediverse.certificates import Certificate, CertificateRegistry, CERTI
 from repro.fediverse.uptime import AvailabilitySchedule, Outage, OutageCause
 from repro.fediverse.instance import InstanceServer
 from repro.fediverse.network import FediverseNetwork
-from repro.fediverse.workload import ScenarioConfig, ScenarioGenerator, build_scenario
+from repro.fediverse.workload import (
+    ScenarioConfig,
+    ScenarioGenerator,
+    build_scenario,
+    preset_names,
+    scenario_config,
+)
+from repro.fediverse.columnar import (
+    ColumnarScenario,
+    ColumnarScenarioGenerator,
+    build_columnar_scenario,
+)
+from repro.fediverse.timeline import ColumnarTimeline
 
 __all__ = [
     "ActivityPolicy",
@@ -37,6 +49,9 @@ __all__ = [
     "Category",
     "Certificate",
     "CertificateRegistry",
+    "ColumnarScenario",
+    "ColumnarScenarioGenerator",
+    "ColumnarTimeline",
     "FediverseNetwork",
     "Follow",
     "GeoDatabase",
@@ -55,5 +70,8 @@ __all__ = [
     "UserRef",
     "Visibility",
     "WELL_KNOWN_ASES",
+    "build_columnar_scenario",
     "build_scenario",
+    "preset_names",
+    "scenario_config",
 ]

@@ -48,6 +48,7 @@ class FediverseNetwork:
         self.federation = FederationRouter(self._instances, record_activities=record_activities)
         self._toot_ids = count(1)
         self._follow_edges: list[Follow] = []
+        self._subscription_edges_cache: set[tuple[str, str]] | None = None
 
     # -- instance registry --------------------------------------------------
 
@@ -120,6 +121,7 @@ class FediverseNetwork:
         created_at = self.clock.now if created_at is None else created_at
         edge = self.federation.handle_follow(follower, followed, created_at)
         self._follow_edges.append(edge)
+        self._subscription_edges_cache = None
         return edge
 
     def post_toot(
@@ -174,8 +176,15 @@ class FediverseNetwork:
         return list(self._follow_edges)
 
     def subscription_edges(self) -> set[tuple[str, str]]:
-        """Return the instance-level federation edges ``(subscriber, publisher)``."""
-        return self.federation.subscription_edges()
+        """Return the instance-level federation edges ``(subscriber, publisher)``.
+
+        The set is derived from every follow edge, so it is built once
+        and cached; :meth:`follow` invalidates the cache.  Treat the
+        returned set as read-only — it is shared across calls.
+        """
+        if self._subscription_edges_cache is None:
+            self._subscription_edges_cache = self.federation.subscription_edges()
+        return self._subscription_edges_cache
 
     def all_users(self) -> list[UserRef]:
         """Return every registered account as a :class:`UserRef`."""

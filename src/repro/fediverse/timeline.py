@@ -11,6 +11,8 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Iterator
 
+import numpy as np
+
 from repro.fediverse.entities import Toot
 
 #: Default page size used by the Mastodon public timeline API.
@@ -96,3 +98,67 @@ class Timeline:
         if not public_only:
             return len(self._toots)
         return sum(1 for toot in self._toots if toot.is_public)
+
+
+class ColumnarTimeline:
+    """Paging over a timeline held as numpy columns instead of objects.
+
+    The columnar scenario generator never builds :class:`Toot` objects,
+    so its federated timelines are just an ascending ``toot_id`` array
+    plus a public-visibility mask.  This class reproduces
+    :meth:`Timeline.page` boundary behaviour — newest first, strictly
+    below ``max_id``, public-only filtering — but returns *positions*
+    into the backing columns; the scenario handle renders those rows
+    into payloads on demand.
+    """
+
+    def __init__(self, toot_ids: np.ndarray, is_public: np.ndarray) -> None:
+        self._ids = np.asarray(toot_ids, dtype=np.int64)
+        if self._ids.size > 1 and not bool(np.all(self._ids[1:] > self._ids[:-1])):
+            raise ValueError("columnar timelines require strictly ascending toot ids")
+        self._public = np.asarray(is_public, dtype=bool)
+        if self._public.shape != self._ids.shape:
+            raise ValueError("toot_ids and is_public must align")
+        # positions of public rows, ascending — a page is a reversed slice
+        self._public_positions = np.flatnonzero(self._public)
+        self._public_ids = self._ids[self._public_positions]
+
+    def __len__(self) -> int:
+        return int(self._ids.size)
+
+    def newest_id(self) -> int | None:
+        return int(self._ids[-1]) if self._ids.size else None
+
+    def oldest_id(self) -> int | None:
+        return int(self._ids[0]) if self._ids.size else None
+
+    def count(self, public_only: bool = False) -> int:
+        if not public_only:
+            return int(self._ids.size)
+        return int(self._public_positions.size)
+
+    def page_positions(
+        self,
+        max_id: int | None = None,
+        limit: int = DEFAULT_PAGE_SIZE,
+        public_only: bool = True,
+    ) -> np.ndarray:
+        """Positions of up to ``limit`` rows older than ``max_id``, newest first."""
+        if limit <= 0:
+            return np.empty(0, dtype=np.int64)
+        ids = self._public_ids if public_only else self._ids
+        stop = ids.size if max_id is None else int(np.searchsorted(ids, max_id, side="left"))
+        start = max(0, stop - limit)
+        window = np.arange(stop - 1, start - 1, -1, dtype=np.int64)
+        if public_only:
+            return self._public_positions[window]
+        return window
+
+    def page_ids(
+        self,
+        max_id: int | None = None,
+        limit: int = DEFAULT_PAGE_SIZE,
+        public_only: bool = True,
+    ) -> np.ndarray:
+        """Toot ids of a page, newest first (mirrors :meth:`Timeline.page`)."""
+        return self._ids[self.page_positions(max_id, limit, public_only)]

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from datetime import date
+from typing import Callable
 
 import numpy as np
 
@@ -369,6 +370,24 @@ class ScenarioConfig:
             label="large",
             n_instances=500,
             mean_toots_per_user=34.0,
+        )
+
+    @classmethod
+    def xlarge(cls, seed: int = 7) -> "ScenarioConfig":
+        """A 10M-toot scenario for the columnar streaming pipeline.
+
+        Ten times medium's population at 50 toots/user: 200K users and a
+        ~10M-toot corpus over 240 days.  This preset is only realistic
+        through the columnar path (:func:`build_columnar_scenario` /
+        ``collect --columnar``) — the object generator would need tens
+        of GiB; the columnar generator streams it to corpus and graph
+        shards in a few GiB of RSS.
+        """
+        return replace(
+            cls.medium(seed=seed).scaled(10.0),
+            label="xlarge",
+            n_instances=800,
+            mean_toots_per_user=50.0,
         )
 
     def scaled(self, factor: float) -> "ScenarioConfig":
@@ -981,20 +1000,42 @@ class ScenarioGenerator:
                 renew_at += validity_minutes
 
 
+#: Named preset registry, smallest first.
+_PRESETS: dict[str, Callable[..., ScenarioConfig]] = {
+    "tiny": ScenarioConfig.tiny,
+    "small": ScenarioConfig.small,
+    "medium": ScenarioConfig.medium,
+    "large": ScenarioConfig.large,
+    "xlarge": ScenarioConfig.xlarge,
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    """Every valid scenario preset name, smallest first."""
+    return tuple(_PRESETS)
+
+
+def scenario_config(preset: str, seed: int = 7) -> ScenarioConfig:
+    """Resolve a preset name to its :class:`ScenarioConfig`.
+
+    Unknown names raise :class:`~repro.errors.ConfigurationError` listing
+    the valid presets rather than leaking a bare ``KeyError``.
+    """
+    try:
+        factory = _PRESETS[preset]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scenario preset: {preset!r} "
+            f"(valid presets: {', '.join(_PRESETS)})"
+        ) from exc
+    return factory(seed=seed)
+
+
 def build_scenario(preset: str = "small", seed: int = 7) -> FediverseNetwork:
     """Build a ready-to-analyse fediverse using a named preset.
 
-    ``preset`` is one of ``"tiny"``, ``"small"``, ``"medium"`` or
-    ``"large"`` (the 1M+-toot corpus for sharded evaluation).
+    ``preset`` is one of ``"tiny"``, ``"small"``, ``"medium"``,
+    ``"large"`` (the 1M+-toot corpus for sharded evaluation) or
+    ``"xlarge"`` (10M toots; use the columnar path).
     """
-    presets = {
-        "tiny": ScenarioConfig.tiny,
-        "small": ScenarioConfig.small,
-        "medium": ScenarioConfig.medium,
-        "large": ScenarioConfig.large,
-    }
-    try:
-        config = presets[preset](seed=seed)
-    except KeyError as exc:
-        raise ConfigurationError(f"unknown scenario preset: {preset!r}") from exc
-    return ScenarioGenerator(config).generate()
+    return ScenarioGenerator(scenario_config(preset, seed=seed)).generate()

@@ -4,8 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.crawler.graph_crawler import FollowEdgeRecord, FollowerGraphCrawler
+from repro.crawler.graph_crawler import (
+    FollowEdgeRecord,
+    FollowerGraphCrawler,
+    split_handle,
+)
 from repro.crawler.http import SimulatedTransport
+from repro.errors import DatasetError
 from repro.fediverse.uptime import Outage
 from repro.simtime import TimeWindow
 from tests.conftest import build_mini_network, ref
@@ -31,6 +36,20 @@ class TestFollowEdgeRecord:
         assert edge.followed_domain == "y.example"
         assert edge.is_remote
         assert not FollowEdgeRecord("a@x.example", "b@x.example").is_remote
+
+    @pytest.mark.parametrize(
+        "handle", ["no-at-sign", "@x.example", "user@", "", "@"]
+    )
+    def test_malformed_handles_raise(self, handle):
+        with pytest.raises(DatasetError, match="malformed account handle"):
+            split_handle(handle)
+        with pytest.raises(DatasetError, match="malformed account handle"):
+            _ = FollowEdgeRecord(follower=handle, followed="b@y.example").follower_domain
+        with pytest.raises(DatasetError, match="malformed account handle"):
+            _ = FollowEdgeRecord(follower="a@x.example", followed=handle).followed_domain
+
+    def test_split_handle_keeps_everything_before_the_last_at(self):
+        assert split_handle("weird@name@x.example") == ("weird@name", "x.example")
 
 
 class TestAccountDiscovery:
@@ -73,6 +92,18 @@ class TestFullCrawl:
         assert ("alice@alpha.example", "bob@beta.example") in result.unique_edges()
         assert "alice@alpha.example" in result.accounts_seen
         assert result.failures == {}
+
+    def test_sink_mode_streams_the_same_edges(self, network, tmp_path):
+        from repro.corpus import GraphWriter
+
+        transport = SimulatedTransport(network)
+        record = FollowerGraphCrawler(transport, threads=3).crawl()
+        writer = GraphWriter(tmp_path / "g")
+        sunk = FollowerGraphCrawler(transport, threads=3).crawl(sink=writer)
+        store = writer.finalise(crawl_minute=sunk.crawl_minute)
+        assert sunk.edges == []
+        assert sum(sunk.edge_counts.values()) == len(record.edges)
+        assert set(store.iter_edge_handles()) == record.unique_edges()
 
     def test_offline_instances_skipped(self, network):
         network.availability.add_outage(

@@ -75,6 +75,22 @@ class TestUserActions:
         assert len(network.all_users()) == 4
         assert len(network.follow_edges()) == 1
 
+    def test_subscription_edges_cached_until_the_next_follow(self):
+        network = build_mini_network()
+        network.follow(ref("alice@alpha.example"), ref("bob@beta.example"))
+        first = network.subscription_edges()
+        assert first == {("alpha.example", "beta.example")}
+        # repeated calls return the cached set, not a rebuilt copy
+        assert network.subscription_edges() is first
+        # a new follow invalidates the cache
+        network.follow(ref("chloe@gamma.example"), ref("bob@beta.example"))
+        second = network.subscription_edges()
+        assert second is not first
+        assert second == {
+            ("alpha.example", "beta.example"),
+            ("gamma.example", "beta.example"),
+        }
+
 
 class TestAvailability:
     def test_outage_makes_instance_offline(self):
