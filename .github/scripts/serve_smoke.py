@@ -1,0 +1,158 @@
+"""End-to-end smoke test for ``repro-mastodon serve`` (the CI serve-smoke job).
+
+Starts the HTTP server as a real subprocess over a pre-collected columnar
+corpus + graph store, waits for ``/health``, then checks that the three
+exposures agree with each other and with the batch sweep:
+
+1. HTTP ``/availability`` answers for no-rep and s-rep at ``k=10`` under
+   ``instances/by_toots`` must equal the ``run fig15 --json`` scalars
+   ``no_rep_top10_instances_by_toots`` / ``s_rep_top10_instances_by_toots``
+   **exactly** (the serve layer's bit-identity contract).  Only the
+   by_toots ranking is compared: the service's ``by_users`` ranking is a
+   store-derived analogue of the batch pipeline's monitor-derived one.
+2. The stdin/stdout transport, run as a second subprocess with the same
+   queries piped through, must return byte-identical availability values.
+3. Error paths stay errors: unknown failure names are HTTP 400, unknown
+   endpoints 404, malformed stdin tokens answer ``{"error": ...}``.
+
+Usage::
+
+    python .github/scripts/serve_smoke.py \\
+        --corpus smoke-corpus --graph smoke-graph \\
+        --results batch-results/fig15.json --port 8731
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+HEALTH_TIMEOUT_SECONDS = 180.0
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _wait_for_health(base: str, process: subprocess.Popen) -> None:
+    deadline = time.monotonic() + HEALTH_TIMEOUT_SECONDS
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(f"serve exited early with code {process.returncode}")
+        try:
+            status, payload = _get(base + "/health")
+            if status == 200 and payload.get("status") == "ok":
+                return
+        except (urllib.error.URLError, OSError):
+            pass
+        time.sleep(0.5)
+    raise SystemExit(f"serve did not become healthy within {HEALTH_TIMEOUT_SECONDS}s")
+
+
+def _check(label: str, condition: bool, detail: str = "") -> None:
+    if not condition:
+        raise SystemExit(f"FAIL {label}: {detail}")
+    print(f"  ok  {label}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus", required=True, metavar="DIR")
+    parser.add_argument("--graph", required=True, metavar="DIR")
+    parser.add_argument("--results", required=True, metavar="FIG15_JSON",
+                        help="fig15.json written by 'run fig15 --json'")
+    parser.add_argument("--port", type=int, default=8731)
+    args = parser.parse_args()
+
+    scalars = json.loads(Path(args.results).read_text())["scalars"]
+    expected = {
+        "no-rep": scalars["no_rep_top10_instances_by_toots"],
+        "s-rep": scalars["s_rep_top10_instances_by_toots"],
+    }
+
+    base = f"http://127.0.0.1:{args.port}"
+    command = [
+        sys.executable, "-m", "repro.cli", "serve", args.corpus,
+        "--graph", args.graph, "--port", str(args.port), "--warm",
+    ]
+    print(f"starting: {' '.join(command)}")
+    server = subprocess.Popen(command, env=_env())
+    try:
+        _wait_for_health(base, server)
+        print(f"server healthy at {base}")
+
+        http_answers: dict[str, float] = {}
+        for strategy, want in expected.items():
+            query = urllib.parse.urlencode({
+                "strategy": strategy, "failure": "instances/by_toots", "k": 10,
+            })
+            status, payload = _get(f"{base}/availability?{query}")
+            _check(f"http availability {strategy}", status == 200, repr(payload))
+            got = payload["availability"]
+            http_answers[strategy] = got
+            _check(
+                f"http {strategy} k=10 == fig15 scalar",
+                got == want,
+                f"serve {got!r} != batch {want!r}",
+            )
+
+        status, payload = _get(f"{base}/meta")
+        _check("http /meta", status == 200 and payload["n_toots"] > 0, repr(payload))
+        status, payload = _get(
+            f"{base}/availability?strategy=no-rep&failure=nope&k=10"
+        )
+        _check("http unknown failure -> 400", status == 400 and "error" in payload,
+               f"status {status}: {payload!r}")
+        status, payload = _get(f"{base}/nope")
+        _check("http unknown endpoint -> 404", status == 404, f"status {status}")
+    finally:
+        server.terminate()
+        server.wait(timeout=30)
+
+    queries = "".join(
+        f"availability strategy={strategy} failure=instances/by_toots k=10\n"
+        for strategy in expected
+    ) + "availability strategy=no-rep bogus\nquit\n"
+    stdio = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve", args.corpus,
+         "--graph", args.graph, "--stdin"],
+        input=queries, capture_output=True, text=True, env=_env(), timeout=600,
+    )
+    _check("stdin transport exit 0", stdio.returncode == 0, stdio.stderr[-2000:])
+    lines = [json.loads(line) for line in stdio.stdout.splitlines() if line.strip()]
+    _check("stdin answer count", len(lines) == len(expected) + 1,
+           f"{len(lines)} answers: {stdio.stdout!r}")
+    for answer, (strategy, _) in zip(lines, expected.items()):
+        _check(
+            f"stdin {strategy} == http",
+            answer["availability"] == http_answers[strategy],
+            f"stdin {answer['availability']!r} != http {http_answers[strategy]!r}",
+        )
+    _check("stdin malformed token -> error answer", "error" in lines[-1],
+           repr(lines[-1]))
+
+    print("serve smoke: all transports agree with the fig15 batch scalars")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,237 @@
+"""Serving-layer latency gates (the PR 8 gate).
+
+The serving subsystem (:mod:`repro.serve`) claims its one-time build is
+amortised and that per-query work is O(answer).  This benchmark builds
+(or reuses) a columnar corpus + graph store at the ``large`` preset,
+warms one :class:`~repro.serve.AvailabilityService` over it, and gates
+three claims:
+
+1. **identity** — the warm service's full-corpus curve is bit-identical
+   to :func:`~repro.engine.sweep.availability_curves` over the same
+   placement arrays (the batch sweep, monolithic path);
+2. **latency** — single-user availability queries from the warm service
+   answer at ``p50 <= 10 ms`` and ``p99 <= 100 ms``;
+3. **throughput** — the same stream sustains ``>= 200`` queries/sec.
+
+The hard thresholds apply at the ``large`` preset on hosts with 4+
+cores; smaller presets, ``--relaxed``, or 1-core CI runners gate the
+same invariants at relaxed thresholds (the committed
+``BENCH_engine.json`` carries the recorded ``large`` baseline).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py [--preset tiny --relaxed]
+
+Reusing an existing store skips the build::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py \\
+        --corpus corpus/ --graph graph/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.replication import PlacementMap
+from repro.engine.sweep import availability_curves
+from repro.fediverse import build_columnar_scenario
+from repro.serve import AvailabilityService
+
+#: Hard gates: the `large`-preset / 4+ core contract.
+HARD_P50_MS = 10.0
+HARD_P99_MS = 100.0
+HARD_MIN_QPS = 200.0
+
+#: Relaxed gates for hosted 1-core runners and small presets: the same
+#: invariants, an order of magnitude of headroom.
+RELAXED_P50_MS = 100.0
+RELAXED_P99_MS = 1_000.0
+RELAXED_MIN_QPS = 20.0
+
+WARMUP_QUERIES = 50
+DEFAULT_QUERIES = 2_000
+QUERY_SEED = 42
+
+
+def build_stores(preset: str, corpus_dir: Path, graph_dir: Path, seed: int = 7) -> None:
+    """Stream a columnar scenario into fresh corpus + graph stores."""
+    from repro.corpus import CorpusWriter, GraphWriter
+
+    scenario = build_columnar_scenario(preset, seed=seed)
+    minute = scenario.config.window_minutes - 1
+    writer = CorpusWriter(corpus_dir)
+    scenario.write_corpus(writer, at_minute=minute)
+    writer.finalise(crawl_minute=minute)
+    graph_writer = GraphWriter(graph_dir)
+    scenario.write_graph(graph_writer, at_minute=minute)
+    graph_writer.finalise(crawl_minute=minute)
+
+
+def check_identity(service: AvailabilityService) -> None:
+    """The warm curve must equal the batch sweep's, float for float."""
+    state = service.state_for("no-rep")
+    failure = service.failure("instances/by_toots")
+    batch = availability_curves(
+        PlacementMap(strategy=state.arrays.strategy, arrays=state.arrays),
+        [failure],
+        shard_size=0,
+    )[failure.name]
+    batch_curve = np.asarray([point.availability for point in batch])
+    serve_curve = service.curve("no-rep", "instances/by_toots")
+    assert serve_curve.shape == batch_curve.shape, (
+        f"curve lengths differ: serve {serve_curve.shape} vs batch {batch_curve.shape}"
+    )
+    assert (serve_curve == batch_curve).all(), (
+        "serve curve differs from the batch sweep"
+    )
+
+
+def run_queries(
+    service: AvailabilityService, n_queries: int, strategies: list[str]
+) -> dict[str, float]:
+    """Timed single-user availability queries against the warm service."""
+    rng = np.random.default_rng(QUERY_SEED)
+    authors = [str(a) for a in service.corpus.authors.tolist()]
+    picks = rng.integers(0, len(authors), size=WARMUP_QUERIES + n_queries)
+    ks = rng.integers(0, service.removal_steps + 1, size=picks.size)
+    strategy_picks = rng.integers(0, len(strategies), size=picks.size)
+
+    def one(i: int) -> None:
+        service.availability(
+            user=authors[int(picks[i])],
+            strategy=strategies[int(strategy_picks[i])],
+            failure="instances/by_toots",
+            k=int(ks[i]),
+        )
+
+    for i in range(WARMUP_QUERIES):
+        one(i)
+    durations = np.empty(n_queries, dtype=np.float64)
+    begin = time.perf_counter()
+    for j in range(n_queries):
+        t0 = time.perf_counter()
+        one(WARMUP_QUERIES + j)
+        durations[j] = time.perf_counter() - t0
+    total = time.perf_counter() - begin
+    return {
+        "p50_ms": float(np.percentile(durations, 50) * 1000),
+        "p99_ms": float(np.percentile(durations, 99) * 1000),
+        "qps": n_queries / total,
+        "total_seconds": total,
+    }
+
+
+def run_gates(
+    preset: str,
+    corpus_dir: Path,
+    graph_dir: Path,
+    n_queries: int,
+    relaxed: bool,
+) -> dict[str, object]:
+    built_stores = not (corpus_dir / "manifest.json").exists()
+    if built_stores:
+        t0 = time.perf_counter()
+        build_stores(preset, corpus_dir, graph_dir)
+        store_seconds = time.perf_counter() - t0
+    else:
+        store_seconds = 0.0
+
+    t0 = time.perf_counter()
+    service = AvailabilityService(corpus_dir, graph_dir, mmap=True)
+    strategies = ["no-rep", "s-rep"]
+    service.warm(strategies)
+    build_seconds = time.perf_counter() - t0
+
+    check_identity(service)
+    measured = run_queries(service, n_queries, strategies)
+
+    cores = os.cpu_count() or 1
+    hard = preset == "large" and cores >= 4 and not relaxed
+    gates = {
+        "p50_ms": HARD_P50_MS if hard else RELAXED_P50_MS,
+        "p99_ms": HARD_P99_MS if hard else RELAXED_P99_MS,
+        "min_qps": HARD_MIN_QPS if hard else RELAXED_MIN_QPS,
+    }
+    return {
+        "preset": preset,
+        "n_toots": service.corpus.n_toots,
+        "n_queries": n_queries,
+        "identity_batch_sweep": True,
+        "store_build_seconds": round(store_seconds, 3),
+        "service_build_seconds": round(build_seconds, 3),
+        "hard_gates": hard,
+        **{key: round(value, 4) for key, value in measured.items()},
+        "gate_p50_ms": gates["p50_ms"],
+        "gate_p99_ms": gates["p99_ms"],
+        "gate_min_qps": gates["min_qps"],
+    }
+
+
+def _assert_gates(measured: dict[str, object]) -> None:
+    assert measured["p50_ms"] <= measured["gate_p50_ms"], (
+        f"p50 {measured['p50_ms']:.2f} ms exceeds {measured['gate_p50_ms']} ms"
+    )
+    assert measured["p99_ms"] <= measured["gate_p99_ms"], (
+        f"p99 {measured['p99_ms']:.2f} ms exceeds {measured['gate_p99_ms']} ms"
+    )
+    assert measured["qps"] >= measured["gate_min_qps"], (
+        f"{measured['qps']:.0f} qps under the {measured['gate_min_qps']} floor"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="large")
+    parser.add_argument("--corpus", default=None, metavar="DIR")
+    parser.add_argument("--graph", default=None, metavar="DIR")
+    parser.add_argument("--queries", type=int, default=DEFAULT_QUERIES)
+    parser.add_argument(
+        "--relaxed", action="store_true",
+        help="gate at the relaxed thresholds regardless of preset/cores",
+    )
+    args = parser.parse_args()
+
+    scratch = None
+    if args.corpus is None or args.graph is None:
+        scratch = tempfile.TemporaryDirectory(prefix="bench-serve-")
+    corpus_dir = Path(args.corpus) if args.corpus else Path(scratch.name) / "corpus"
+    graph_dir = Path(args.graph) if args.graph else Path(scratch.name) / "graph"
+    try:
+        measured = run_gates(
+            args.preset, corpus_dir, graph_dir, args.queries, args.relaxed
+        )
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+
+    mode = "hard" if measured["hard_gates"] else "relaxed"
+    print(f"serve latency gates: {measured['n_toots']:,} toots "
+          f"('{measured['preset']}' preset), {measured['n_queries']:,} queries, "
+          f"{mode} thresholds")
+    print("  identity            : warm curve == batch sweep (bit-identical)")
+    print(f"  one-time build      : stores {measured['store_build_seconds']}s, "
+          f"service {measured['service_build_seconds']}s")
+    print(f"  latency             : p50 {measured['p50_ms']:.2f} ms "
+          f"(<= {measured['gate_p50_ms']}), p99 {measured['p99_ms']:.2f} ms "
+          f"(<= {measured['gate_p99_ms']})")
+    print(f"  throughput          : {measured['qps']:,.0f} qps "
+          f"(>= {measured['gate_min_qps']})")
+    _assert_gates(measured)
+
+    try:
+        from benchmarks.perf_log import record
+    except ImportError:  # run as a script: benchmarks/ itself is on sys.path
+        from perf_log import record
+
+    path = record("serve_latency", measured)
+    print(f"  recorded            : {path}")
+
+
+if __name__ == "__main__":
+    main()

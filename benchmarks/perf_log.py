@@ -27,6 +27,28 @@ from pathlib import Path
 SCHEMA = "repro.bench_engine/v1"
 
 
+def _check_metrics(payload: dict, prefix: str = "") -> None:
+    """Reject NaN and negative metric values before they hit the document.
+
+    Latency/throughput metrics are all non-negative by construction; a
+    NaN or a negative value means clock skew or a broken measurement on
+    the recording host, and silently committing it would poison the
+    trajectory baseline.  Booleans pass (gate flags), strings pass
+    (labels), dicts recurse.
+    """
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            _check_metrics(value, prefix=f"{name}.")
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if value != value:  # NaN is the only value unequal to itself
+            raise ValueError(f"metric {name!r} is NaN")
+        if value < 0:
+            raise ValueError(f"metric {name!r} is negative ({value!r})")
+
+
 def default_path() -> Path:
     """Where the consolidated document lives (env-overridable)."""
     return Path(os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json"))
@@ -40,6 +62,7 @@ def record(section: str, payload: dict, path: Path | str | None = None) -> Path:
     time and the machine context, so trajectory diffs can tell a real
     regression from a hardware change.
     """
+    _check_metrics(payload)
     target = Path(path) if path is not None else default_path()
     if target.exists():
         document = json.loads(target.read_text())

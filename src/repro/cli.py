@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction toolkit.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     repro-mastodon scenario     --preset small --seed 7   # population summary
     repro-mastodon report       --preset tiny  --seed 7   # headline analyses
@@ -10,6 +10,7 @@ Six subcommands cover the common workflows::
     repro-mastodon run fig15 fig16 --preset small --seed 42 --json out/
     repro-mastodon run --all --preset tiny --seed 7       # the whole evaluation
     repro-mastodon run fig15 fig16 --preset large --corpus corpus/ --workers 4
+    repro-mastodon serve corpus/ --graph graph/ --warm    # availability queries
 
 The CLI is a thin wrapper over the public API: ``run`` dispatches
 through :func:`repro.experiments.run_experiments` (one shared, memoised
@@ -226,6 +227,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="bootstrap seeds of the sampled churn processes (default: 0 1 2)",
     )
     run.set_defaults(func=_command_run)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer availability queries from a warm, mmap-backed service",
+        description=(
+            "Load a columnar corpus (and optionally its graph store) read-only "
+            "via memory-mapped shards, build placements and loss tables once, "
+            "then answer per-user/per-instance availability queries at "
+            "interactive latency over HTTP (JSON) or stdin/stdout — "
+            "bit-identical to the batch sweeps."
+        ),
+    )
+    serve.add_argument(
+        "corpus_dir",
+        metavar="CORPUS_DIR",
+        help="columnar corpus directory (from 'collect --corpus')",
+    )
+    serve.add_argument(
+        "--graph",
+        metavar="DIR",
+        default=None,
+        dest="graph_dir",
+        help=(
+            "follower-graph store directory (from 'collect --graph'); enables "
+            "the s-rep strategy, timeline queries and the by_users/"
+            "by_connections rankings"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8015, help="bind port (default: 8015)")
+    serve.add_argument(
+        "--stdin",
+        action="store_true",
+        help="answer line-oriented queries on stdin/stdout instead of HTTP",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="load shards eagerly instead of memory-mapping them",
+    )
+    serve.add_argument(
+        "--warm",
+        nargs="*",
+        metavar="STRATEGY",
+        default=None,
+        help=(
+            "strategies to build eagerly before serving (e.g. no-rep s-rep "
+            "n=2); with no names, warms no-rep (and s-rep when --graph is "
+            "given); omit the flag to build lazily on first query"
+        ),
+    )
+    serve.add_argument(
+        "--removal-steps",
+        type=int,
+        default=50,
+        metavar="N",
+        help="length of the built-in removal schedules (default: 50)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate loss-table shards on N threads during the one-time build",
+    )
+    serve.set_defaults(func=_command_serve)
     return parser
 
 
@@ -420,6 +487,15 @@ def _command_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    # user-supplied store directories that already hold a manifest are
+    # validated up front, so a broken manifest is a clean exit-2 naming
+    # the offending directory instead of a mid-run traceback
+    try:
+        _validate_store_dirs(args.corpus_dir, args.graph_dir)
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     corpus_dir = args.corpus_dir
     scratch_corpus = None
     if corpus_dir == "":
@@ -472,6 +548,48 @@ def _command_run(args: argparse.Namespace) -> int:
 
     built = ", ".join(f"{name} ×{count}" for name, count in ctx.counters.items())
     print(f"ran {len(results)} experiment(s) on '{args.preset}' (seed {args.seed}); pipeline builds: {built}")
+    return 0
+
+
+def _validate_store_dirs(corpus_dir: str | None, graph_dir: str | None) -> None:
+    """Open any pre-existing store manifests to surface errors early."""
+    from repro.corpus import CorpusStore, GraphStore
+
+    if corpus_dir and (Path(corpus_dir) / "manifest.json").exists():
+        CorpusStore(corpus_dir)
+    if graph_dir and (Path(graph_dir) / "manifest.json").exists():
+        GraphStore(graph_dir)
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AvailabilityService, serve_http, serve_stdio
+
+    try:
+        service = AvailabilityService(
+            args.corpus_dir,
+            args.graph_dir,
+            mmap=not args.no_mmap,
+            removal_steps=args.removal_steps,
+            workers=args.workers,
+        )
+    except DatasetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.warm is not None:
+        try:
+            service.warm(args.warm or None)
+        except (AnalysisError, DatasetError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"warmed {', '.join(sorted(service.meta()['strategies']))} over "
+            f"{service.corpus.n_toots} toots",
+            flush=True,
+        )
+    if args.stdin:
+        serve_stdio(service)
+        return 0
+    serve_http(service, args.host, args.port)
     return 0
 
 

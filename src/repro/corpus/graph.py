@@ -35,6 +35,7 @@ from typing import Any, Iterable, Iterator, Sequence
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.corpus.npzmap import open_npz
 from repro.corpus.writer import _Interner, _SpoolReader, _string_array, _write_strings
 from repro.crawler.graph_crawler import split_handle
 
@@ -277,8 +278,9 @@ class GraphWriter:
 class GraphStore:
     """Read-side handle on a columnar follower-graph directory."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, mmap: bool = False) -> None:
         self.path = Path(path)
+        self.mmap = bool(mmap)
         manifest_path = self.path / _MANIFEST
         if not manifest_path.exists():
             raise DatasetError(f"no graph manifest at {manifest_path}")
@@ -293,38 +295,50 @@ class GraphStore:
     # -- manifest validation ---------------------------------------------------
 
     def _validated(self, manifest: Any) -> dict[str, Any]:
+        where = f"{self.path}: graph manifest"
         if not isinstance(manifest, dict):
-            raise DatasetError("graph manifest must be a JSON object")
+            raise DatasetError(f"{where} must be a JSON object")
         for key, expected in _REQUIRED_KEYS.items():
             if key not in manifest:
-                raise DatasetError(f"graph manifest is missing {key!r}")
+                raise DatasetError(f"{where} is missing {key!r}")
             if not isinstance(manifest[key], expected):
-                raise DatasetError(f"graph manifest field {key!r} has the wrong type")
+                raise DatasetError(f"{where} field {key!r} has the wrong type")
         if manifest["schema"] != GRAPH_SCHEMA:
             raise DatasetError(
-                f"unsupported graph schema {manifest['schema']!r} "
-                f"(expected {GRAPH_SCHEMA!r})"
+                f"{where} key 'schema': unsupported graph schema "
+                f"{manifest['schema']!r} (expected {GRAPH_SCHEMA!r})"
             )
         if list(manifest["columns"]) != list(EDGE_COLUMNS):
-            raise DatasetError("graph manifest declares an unexpected column set")
+            raise DatasetError(
+                f"{where} key 'columns' declares an unexpected column set"
+            )
         if not (self.path / manifest["tables"]).exists():
-            raise DatasetError(f"graph tables file {manifest['tables']!r} is missing")
+            raise DatasetError(
+                f"{where} key 'tables': graph tables file "
+                f"{manifest['tables']!r} is missing"
+            )
         cursor = 0
         for entry in manifest["shards"]:
             if not isinstance(entry, dict) or {"file", "start", "stop"} - set(entry):
-                raise DatasetError("graph shard entries need file/start/stop")
+                raise DatasetError(
+                    f"{where} key 'shards': graph shard entries need file/start/stop"
+                )
             if entry["start"] != cursor or entry["stop"] <= entry["start"]:
                 raise DatasetError(
-                    f"graph shard ranges must be contiguous from zero: "
+                    f"{where} key 'shards': graph shard ranges must be "
+                    f"contiguous from zero: "
                     f"[{entry['start']}, {entry['stop']}) after {cursor}"
                 )
             if not (self.path / entry["file"]).exists():
-                raise DatasetError(f"graph shard file {entry['file']!r} is missing")
+                raise DatasetError(
+                    f"{where} key 'shards': graph shard file "
+                    f"{entry['file']!r} is missing"
+                )
             cursor = entry["stop"]
         if cursor != manifest["n_edges"]:
             raise DatasetError(
-                f"graph shards cover {cursor} edges but the manifest "
-                f"declares {manifest['n_edges']}"
+                f"{where} key 'n_edges': graph shards cover {cursor} edges "
+                f"but the manifest declares {manifest['n_edges']}"
             )
         return manifest
 
@@ -373,7 +387,7 @@ class GraphStore:
 
     def _table(self, name: str) -> np.ndarray:
         if self._tables is None:
-            self._tables = np.load(self.path / self.manifest["tables"])
+            self._tables = open_npz(self.path / self.manifest["tables"], mmap=self.mmap)
         return self._tables[name]
 
     @property
@@ -404,7 +418,7 @@ class GraphStore:
     def shard_edges(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """One shard's ``(follower_code, followed_code)`` columns."""
         entry = self.manifest["shards"][index]
-        handle = np.load(self.path / entry["file"])
+        handle = open_npz(self.path / entry["file"], mmap=self.mmap)
         return handle["follower_code"], handle["followed_code"]
 
     def iter_edges(self) -> Iterator[tuple[tuple[int, int], np.ndarray, np.ndarray]]:

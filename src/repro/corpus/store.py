@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
+from repro.corpus.npzmap import open_npz
 
 _MANIFEST = "manifest.json"
 
@@ -42,8 +43,9 @@ _REQUIRED_KEYS = {
 class CorpusStore:
     """Read-side handle on a columnar corpus directory."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, mmap: bool = False) -> None:
         self.path = Path(path)
+        self.mmap = bool(mmap)
         manifest_path = self.path / _MANIFEST
         if not manifest_path.exists():
             raise DatasetError(f"no corpus manifest at {manifest_path}")
@@ -59,38 +61,50 @@ class CorpusStore:
     # -- manifest validation ---------------------------------------------------
 
     def _validated(self, manifest: Any) -> dict[str, Any]:
+        where = f"{self.path}: corpus manifest"
         if not isinstance(manifest, dict):
-            raise DatasetError("corpus manifest must be a JSON object")
+            raise DatasetError(f"{where} must be a JSON object")
         for key, expected in _REQUIRED_KEYS.items():
             if key not in manifest:
-                raise DatasetError(f"corpus manifest is missing {key!r}")
+                raise DatasetError(f"{where} is missing {key!r}")
             if not isinstance(manifest[key], expected):
-                raise DatasetError(f"corpus manifest field {key!r} has the wrong type")
+                raise DatasetError(f"{where} field {key!r} has the wrong type")
         if manifest["schema"] != CORPUS_SCHEMA:
             raise DatasetError(
-                f"unsupported corpus schema {manifest['schema']!r} "
-                f"(expected {CORPUS_SCHEMA!r})"
+                f"{where} key 'schema': unsupported corpus schema "
+                f"{manifest['schema']!r} (expected {CORPUS_SCHEMA!r})"
             )
         if list(manifest["columns"]) != list(COLUMN_NAMES):
-            raise DatasetError("corpus manifest declares an unexpected column set")
+            raise DatasetError(
+                f"{where} key 'columns' declares an unexpected column set"
+            )
         if not (self.path / manifest["tables"]).exists():
-            raise DatasetError(f"corpus tables file {manifest['tables']!r} is missing")
+            raise DatasetError(
+                f"{where} key 'tables': corpus tables file "
+                f"{manifest['tables']!r} is missing"
+            )
         cursor = 0
         for entry in manifest["shards"]:
             if not isinstance(entry, dict) or {"file", "start", "stop"} - set(entry):
-                raise DatasetError("corpus shard entries need file/start/stop")
+                raise DatasetError(
+                    f"{where} key 'shards': corpus shard entries need file/start/stop"
+                )
             if entry["start"] != cursor or entry["stop"] <= entry["start"]:
                 raise DatasetError(
-                    f"corpus shard ranges must be contiguous from zero: "
+                    f"{where} key 'shards': corpus shard ranges must be "
+                    f"contiguous from zero: "
                     f"[{entry['start']}, {entry['stop']}) after {cursor}"
                 )
             if not (self.path / entry["file"]).exists():
-                raise DatasetError(f"corpus shard file {entry['file']!r} is missing")
+                raise DatasetError(
+                    f"{where} key 'shards': corpus shard file "
+                    f"{entry['file']!r} is missing"
+                )
             cursor = entry["stop"]
         if cursor != manifest["n_toots"]:
             raise DatasetError(
-                f"corpus shards cover {cursor} toots but the manifest "
-                f"declares {manifest['n_toots']}"
+                f"{where} key 'n_toots': corpus shards cover {cursor} toots "
+                f"but the manifest declares {manifest['n_toots']}"
             )
         return manifest
 
@@ -134,7 +148,7 @@ class CorpusStore:
 
     def _table(self, name: str) -> np.ndarray:
         if self._tables is None:
-            self._tables = np.load(self.path / self.manifest["tables"])
+            self._tables = open_npz(self.path / self.manifest["tables"], mmap=self.mmap)
         return self._tables[name]
 
     @property
@@ -183,7 +197,7 @@ class CorpusStore:
         if self._cached_shard is not None and self._cached_shard[0] == index:
             return self._cached_shard[1]
         entry = self.manifest["shards"][index]
-        handle = np.load(self.path / entry["file"])
+        handle = open_npz(self.path / entry["file"], mmap=self.mmap)
         self._cached_shard = (index, handle)
         return handle
 

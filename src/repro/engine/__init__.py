@@ -65,6 +65,7 @@ from repro.engine.kernels import (
     kill_steps_batch,
     losses_per_step,
     losses_per_step_batch,
+    losses_per_step_rows,
     temporal_availability_from_counts,
     temporal_removal_matrix,
 )
@@ -117,6 +118,7 @@ __all__ = [
     "kill_steps_batch",
     "losses_per_step",
     "losses_per_step_batch",
+    "losses_per_step_rows",
     "random_strategy_grid",
     "ranked_removal_sweep_matrix",
     "run_availability_sweep",

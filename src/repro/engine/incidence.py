@@ -108,6 +108,7 @@ class TootIncidence:
     domains: tuple[str, ...]
     domain_index: dict[str, int]
     _lookup: DomainLookup | None = field(default=None, repr=False, compare=False)
+    _columns: sparse.csc_matrix | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_toots(self) -> int:
@@ -243,3 +244,21 @@ class TootIncidence:
         Instances without a known AS get ``-1``.
         """
         return self.lookup.as_assignment(asn_of_instance)
+
+    def rows_holding(self, domain: str) -> np.ndarray:
+        """Row indices of every toot with a copy on ``domain`` (ascending).
+
+        The per-instance column access of the serving layer: the CSC
+        transpose is built lazily on first call and cached, so repeated
+        instance queries are one indptr slice each.  Unknown domains get
+        an empty index array.
+        """
+        code = int(self.lookup.codes([domain])[0])
+        if code < 0:
+            return np.empty(0, dtype=np.int64)
+        if self._columns is None:
+            columns = self.matrix.tocsc()
+            columns.sort_indices()
+            self._columns = columns
+        start, stop = self._columns.indptr[code], self._columns.indptr[code + 1]
+        return self._columns.indices[start:stop].astype(np.int64)

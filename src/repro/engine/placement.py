@@ -124,6 +124,49 @@ class PlacementArrays:
             out[url] = frozenset(holders)
         return out
 
+    def rows_incidence(self, rows: np.ndarray) -> "sparse.csr_matrix":
+        """The incidence CSR of a subset of toots, straight from the codes.
+
+        Row ``i`` of the result interleaves toot ``rows[i]``'s home code
+        with its replica codes — the exact structure
+        :meth:`TootIncidence.from_arrays` builds for those rows, without
+        ever assembling the full corpus matrix.  The serving layer's
+        per-query construction: O(subset nnz) work and memory.
+        """
+        from scipy import sparse
+
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1 or rows.size == 0:
+            raise AnalysisError("rows must be a non-empty 1-D index array")
+        if rows.min() < 0 or rows.max() >= self.n_toots:
+            raise AnalysisError("row indices fall outside the placement arrays")
+        replica_indptr = self.replica_indptr
+        counts = (replica_indptr[rows + 1] - replica_indptr[rows]).astype(np.int64)
+        lengths = counts + 1  # +1 for the home copy
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        home_slots = indptr[:-1]
+        indices[home_slots] = self.home[rows]
+        replica_slots = np.ones(total, dtype=bool)
+        replica_slots[home_slots] = False
+        replica_cum = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=replica_cum[1:])
+        positions = (
+            np.repeat(
+                replica_indptr[rows].astype(np.int64) - replica_cum[:-1], counts
+            )
+            + np.arange(int(replica_cum[-1]), dtype=np.int64)
+        )
+        indices[replica_slots] = self.replica_indices[positions]
+        matrix = sparse.csr_matrix(
+            (np.ones(total, dtype=np.int8), indices, indptr),
+            shape=(rows.size, self.n_domains),
+        )
+        matrix.sort_indices()
+        return matrix
+
     def validate(self) -> "PlacementArrays":
         """Check the structural invariants; returns self for chaining."""
         n = self.n_toots

@@ -258,6 +258,32 @@ class ShardedIncidence:
         """Instance→AS assignment vector (see :meth:`TootIncidence.as_assignment`)."""
         return self.lookup.as_assignment(asn_of_instance)
 
+    def rows_holding(self, domain: str) -> np.ndarray:
+        """Global row indices of every toot with a copy on ``domain``.
+
+        Streams the shards (one CSC transpose per shard, dropped as the
+        scan moves on), so the working set stays O(shard) — but each call
+        is a full pass over the corpus; callers that repeat instance
+        queries should cache the result.  Rows come back ascending, and
+        identical to :meth:`TootIncidence.rows_holding` over the
+        monolithic matrix.
+        """
+        code = int(self.lookup.codes([domain])[0])
+        if code < 0:
+            return np.empty(0, dtype=np.int64)
+        parts: list[np.ndarray] = []
+        for shard in self.shards():
+            columns = shard.matrix.tocsc()
+            columns.sort_indices()
+            start, stop = columns.indptr[code], columns.indptr[code + 1]
+            if stop > start:
+                parts.append(
+                    columns.indices[start:stop].astype(np.int64) + shard.start
+                )
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
 
 # -- streaming evaluation ---------------------------------------------------------
 

@@ -106,12 +106,20 @@ class ExperimentContext:
             "collect_datasets": 0,
             "twitter_baselines": 0,
             "placements_built": 0,
+            "curves_evaluated": 0,
         }
         self._network = None
         self._data: CollectedDatasets | None = None
         self._twitter: TwitterBaselines | None = None
         self._memo: dict[object, object] = {}
         self._placements: dict[StrategySpec, PlacementMap] = {}
+        #: (spec, failure name) -> (failure object, curve).  The failure
+        #: object is kept both as the cache-validity witness (same name,
+        #: different schedule -> recompute) and as a strong reference so
+        #: a dead object's id can never be reused by a lookalike.
+        self._curve_cache: dict[
+            tuple[StrategySpec, str], tuple[FailureModel, list[AvailabilityPoint]]
+        ] = {}
 
     @classmethod
     def from_datasets(
@@ -415,11 +423,30 @@ class ExperimentContext:
             placements = self.placements_for(spec)
             if keep_placements:
                 placements_by_name[spec.name] = placements
-            strategy_curves = availability_curves(
-                placements, failures, shard_size=self.shard_size, workers=self.workers
-            )
-            for failure_name, curve in strategy_curves.items():
-                curves[(spec.name, failure_name)] = curve
+            # curves are cached per (spec, failure *object*): experiments
+            # share failure models through the memoised grids, so e.g.
+            # fig16 reuses fig15's instances/by_toots curves instead of
+            # re-reducing the whole corpus
+            missing = [
+                failure
+                for failure in failures
+                if (cached := self._curve_cache.get((spec, failure.name))) is None
+                or cached[0] is not failure
+            ]
+            if missing:
+                fresh = availability_curves(
+                    placements, missing, shard_size=self.shard_size, workers=self.workers
+                )
+                for failure in missing:
+                    self._curve_cache[(spec, failure.name)] = (
+                        failure,
+                        fresh[failure.name],
+                    )
+                self.counters["curves_evaluated"] += len(missing)
+            for failure in failures:
+                curves[(spec.name, failure.name)] = self._curve_cache[
+                    (spec, failure.name)
+                ][1]
         return SweepResult(
             curves=curves,
             strategy_names=tuple(spec.name for spec in strategies),

@@ -1,0 +1,96 @@
+"""The JSON-over-HTTP transport: a stdlib ``ThreadingHTTPServer``.
+
+Endpoints map one-to-one onto :func:`~repro.serve.service.handle_query`
+verbs — ``/availability``, ``/timeline``, ``/best_placement``, ``/meta``
+— plus ``/health`` for liveness probes.  Query parameters are the
+query grammar verbatim (``?user=…&strategy=s-rep&k=10``).  Bad input is
+a 400 with an ``{"error": …}`` body, an unknown path a 404; nothing
+raises through the server loop.
+
+Threading matters here: the handler threads all call into one shared
+:class:`~repro.serve.service.AvailabilityService`, whose one-time
+builds are lock-serialised and whose queries are read-only afterwards —
+concurrent requests get bit-identical answers to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+from repro.serve.service import AvailabilityService, handle_query
+
+#: URL path -> query verb.
+_ROUTES = {
+    "/availability": "availability",
+    "/timeline": "timeline",
+    "/best_placement": "best_placement",
+    "/meta": "meta",
+}
+
+
+def build_http_server(
+    service: AvailabilityService, host: str = "127.0.0.1", port: int = 8015
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``host:port``.
+
+    Split from :func:`serve_http` so tests (and embedders) can bind port
+    0, read back ``server.server_address``, and drive the server from
+    their own thread.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def _reply(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            parsed = urlsplit(self.path)
+            path = parsed.path.rstrip("/") or "/"
+            if path == "/health":
+                self._reply(200, {"status": "ok"})
+                return
+            verb = _ROUTES.get(path)
+            if verb is None:
+                self._reply(
+                    404,
+                    {"error": f"unknown endpoint {path!r}",
+                     "endpoints": sorted(_ROUTES) + ["/health"]},
+                )
+                return
+            params = dict(parse_qsl(parsed.query))
+            try:
+                self._reply(200, handle_query(service, verb, params))
+            except ReproError as exc:
+                self._reply(400, {"error": str(exc)})
+
+        def log_message(self, *args) -> None:  # silence per-request stderr noise
+            pass
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_http(
+    service: AvailabilityService, host: str = "127.0.0.1", port: int = 8015
+) -> None:
+    """Announce the bound address and serve until interrupted."""
+    server = build_http_server(service, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"serving availability queries on http://{bound_host}:{bound_port}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -1,0 +1,57 @@
+"""The line-oriented stdin/stdout transport for scripts.
+
+One query per line — ``<verb> key=value key=value …`` — one JSON answer
+per line, in order.  Blank lines and ``#`` comments are skipped;
+``quit`` / ``exit`` ends the session.  Errors never kill the loop: a
+malformed or rejected query answers ``{"error": …}`` on its own line,
+so a script can pipe a whole batch through one warm service::
+
+    printf 'availability strategy=no-rep failure=instances/by_toots k=10\\n' \\
+        | repro-mastodon serve CORPUS --graph GRAPH --stdin
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.errors import ReproError
+from repro.serve.service import AvailabilityService, handle_query
+
+
+def _parse_line(line: str) -> tuple[str, dict[str, str]]:
+    tokens = line.split()
+    verb = tokens[0]
+    params: dict[str, str] = {}
+    for token in tokens[1:]:
+        name, sep, value = token.partition("=")
+        if not sep or not name:
+            raise ReproError(f"malformed query token {token!r} (expected key=value)")
+        params[name] = value
+    return verb, params
+
+
+def serve_stdio(
+    service: AvailabilityService,
+    in_stream: IO[str] | None = None,
+    out_stream: IO[str] | None = None,
+) -> None:
+    """Answer queries line by line until EOF or ``quit``/``exit``."""
+    if in_stream is None:
+        in_stream = sys.stdin
+    if out_stream is None:
+        out_stream = sys.stdout
+    for line in in_stream:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in ("quit", "exit"):
+            break
+        try:
+            verb, params = _parse_line(line)
+            payload = handle_query(service, verb, params)
+        except ReproError as exc:
+            payload = {"error": str(exc)}
+        out_stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        out_stream.flush()

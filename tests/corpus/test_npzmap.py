@@ -1,0 +1,185 @@
+"""The mmap-backed ``.npz`` reader and the stores' ``mmap=True`` mode."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusStore, GraphStore, GraphWriter
+from repro.corpus.npzmap import MappedNpz, open_npz
+from repro.crawler import FollowerGraphCrawler, SimulatedTransport
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def graph_store(tiny_network, tmp_path_factory):
+    """The tiny follower crawl in an edge-shard store (multiple shards)."""
+    writer = GraphWriter(tmp_path_factory.mktemp("npzmap-graph"), shard_size=500)
+    result = FollowerGraphCrawler(SimulatedTransport(tiny_network), threads=4).crawl(
+        sink=writer
+    )
+    return writer.finalise(crawl_minute=result.crawl_minute)
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    path = tmp_path / "arrays.npz"
+    np.savez(
+        path,
+        ints=np.arange(1000, dtype=np.int64),
+        floats=np.linspace(0.0, 1.0, 257),
+        strings=np.asarray(["alpha.example", "beta.example"]),
+        fortran=np.asfortranarray(np.arange(12.0).reshape(3, 4)),
+        empty=np.empty((0, 3), dtype=np.int32),
+    )
+    return path
+
+
+class TestMappedNpz:
+    def test_members_match_eager_load(self, archive):
+        mapped = MappedNpz(archive)
+        eager = np.load(archive)
+        assert sorted(mapped.files) == sorted(eager.files)
+        for name in eager.files:
+            got = mapped[name]
+            assert got.dtype == eager[name].dtype
+            assert got.shape == eager[name].shape
+            assert np.array_equal(got, eager[name])
+
+    def test_stored_members_are_memmaps(self, archive):
+        mapped = MappedNpz(archive)
+        for name in ("ints", "floats", "strings", "fortran"):
+            assert isinstance(mapped[name], np.memmap), name
+
+    def test_fortran_order_preserved(self, archive):
+        member = MappedNpz(archive)["fortran"]
+        assert member.flags["F_CONTIGUOUS"]
+
+    def test_zero_size_members_load(self, archive):
+        member = MappedNpz(archive)["empty"]
+        assert member.shape == (0, 3)
+        assert not isinstance(member, np.memmap)  # nothing to map
+
+    def test_members_cached(self, archive):
+        mapped = MappedNpz(archive)
+        assert mapped["ints"] is mapped["ints"]
+
+    def test_contains_and_keyerror(self, archive):
+        mapped = MappedNpz(archive)
+        assert "ints" in mapped
+        assert "missing" not in mapped
+        with pytest.raises(KeyError):
+            mapped["missing"]
+
+    def test_compressed_archive_falls_back_to_eager(self, tmp_path):
+        path = tmp_path / "compressed.npz"
+        data = np.arange(4096, dtype=np.int64)
+        np.savez_compressed(path, data=data)
+        mapped = MappedNpz(path)
+        member = mapped["data"]
+        assert not isinstance(member, np.memmap)
+        assert np.array_equal(member, data)
+
+    def test_open_npz_dispatch(self, archive):
+        assert isinstance(open_npz(archive, mmap=True), MappedNpz)
+        eager = open_npz(archive)
+        assert not isinstance(eager, MappedNpz)
+        assert np.array_equal(eager["ints"], np.arange(1000, dtype=np.int64))
+
+
+class TestMappedStores:
+    """``mmap=True`` stores read bit-identical data through memmaps."""
+
+    def test_corpus_tables_and_columns_identical(self, tiny_store):
+        eager = CorpusStore(tiny_store.path)
+        mapped = CorpusStore(tiny_store.path, mmap=True)
+        assert mapped.mmap and not eager.mmap
+        assert np.array_equal(mapped.domains, eager.domains)
+        assert np.array_equal(mapped.authors, eager.authors)
+        assert np.array_equal(
+            mapped.replication_counts(), eager.replication_counts()
+        )
+        for name in ("home_code", "author_code", "toot_id"):
+            assert np.array_equal(mapped.column(name), eager.column(name))
+
+    def test_corpus_shard_columns_are_memmaps(self, tiny_store):
+        mapped = CorpusStore(tiny_store.path, mmap=True)
+        assert isinstance(mapped.shard_column(0, "home_code"), np.memmap)
+        assert isinstance(
+            CorpusStore(tiny_store.path).shard_column(0, "home_code"), np.ndarray
+        )
+
+    def test_graph_tables_and_shards_identical(self, graph_store):
+        eager = GraphStore(graph_store.path)
+        mapped = GraphStore(graph_store.path, mmap=True)
+        assert np.array_equal(mapped.handles, eager.handles)
+        assert np.array_equal(mapped.domains, eager.domains)
+        for index in range(eager.n_shards):
+            for got, want in zip(mapped.shard_edges(index), eager.shard_edges(index)):
+                assert np.array_equal(got, want)
+
+    def test_graph_shard_edges_are_memmaps(self, graph_store):
+        mapped = GraphStore(graph_store.path, mmap=True)
+        src, dst = mapped.shard_edges(0)
+        assert isinstance(src, np.memmap) and isinstance(dst, np.memmap)
+
+
+class TestManifestErrorContext:
+    """Validation errors carry the offending directory and manifest key."""
+
+    @staticmethod
+    def corrupted_copy(store_path, tmp_path, mutate):
+        import shutil
+
+        target = tmp_path / "corrupt"
+        shutil.copytree(store_path, target)
+        manifest = json.loads((target / "manifest.json").read_text())
+        mutate(manifest, target)
+        (target / "manifest.json").write_text(json.dumps(manifest))
+        return target
+
+    def test_missing_shard_file_names_path_and_key(self, tiny_store, tmp_path):
+        def drop_shard(manifest, target):
+            (target / manifest["shards"][0]["file"]).unlink()
+
+        target = self.corrupted_copy(tiny_store.path, tmp_path, drop_shard)
+        with pytest.raises(DatasetError) as excinfo:
+            CorpusStore(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert "key 'shards'" in message
+
+    def test_bad_schema_names_path_and_key(self, tiny_store, tmp_path):
+        def bad_schema(manifest, target):
+            manifest["schema"] = "nope/v0"
+
+        target = self.corrupted_copy(tiny_store.path, tmp_path, bad_schema)
+        with pytest.raises(DatasetError) as excinfo:
+            CorpusStore(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert "key 'schema'" in message
+
+    def test_toot_count_mismatch_names_path_and_key(self, tiny_store, tmp_path):
+        def wrong_count(manifest, target):
+            manifest["n_toots"] += 1
+
+        target = self.corrupted_copy(tiny_store.path, tmp_path, wrong_count)
+        with pytest.raises(DatasetError) as excinfo:
+            CorpusStore(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert "key 'n_toots'" in message
+
+    def test_graph_errors_name_path(self, graph_store, tmp_path):
+        def drop_key(manifest, target):
+            del manifest["n_edges"]
+
+        target = self.corrupted_copy(graph_store.path, tmp_path, drop_key)
+        with pytest.raises(DatasetError) as excinfo:
+            GraphStore(target)
+        message = str(excinfo.value)
+        assert str(target) in message
+        assert "graph manifest" in message

@@ -135,3 +135,42 @@ class TestFullRegistryRun:
         for result in results.values():
             assert result.render_text()
             assert result.to_json()
+
+
+class TestCurveCache:
+    def test_repeated_sweep_evaluates_no_new_curves(self, datasets):
+        ctx = ExperimentContext.from_datasets(datasets, preset="tiny", seed=11)
+        strategies = [StrategySpec.none(), StrategySpec.subscription()]
+        failures = ctx.standard_failures()
+        first = ctx.sweep(strategies, failures)
+        evaluated = ctx.counters["curves_evaluated"]
+        assert evaluated == len(strategies) * len(failures)
+        second = ctx.sweep(strategies, failures)
+        assert ctx.counters["curves_evaluated"] == evaluated
+        assert second.curves == first.curves
+
+    def test_partial_overlap_only_evaluates_the_new_pairs(self, datasets):
+        ctx = ExperimentContext.from_datasets(datasets, preset="tiny", seed=11)
+        failures = ctx.standard_failures()
+        ctx.sweep([StrategySpec.none()], failures[:2])
+        evaluated = ctx.counters["curves_evaluated"]
+        ctx.sweep([StrategySpec.none()], failures)
+        assert ctx.counters["curves_evaluated"] == evaluated + len(failures) - 2
+
+    def test_same_name_different_schedule_recomputes(self, datasets):
+        from repro.engine import InstanceRemoval
+
+        ctx = ExperimentContext.from_datasets(datasets, preset="tiny", seed=11)
+        ranking = ctx.instance_ranking("toots")
+        spec = StrategySpec.none()
+        first_model = InstanceRemoval(ranking, steps=5, name="swap")
+        first = ctx.sweep([spec], [first_model])
+        evaluated = ctx.counters["curves_evaluated"]
+        # same name, different object and schedule: the cached curve is stale
+        second_model = InstanceRemoval(list(reversed(ranking)), steps=5, name="swap")
+        second = ctx.sweep([spec], [second_model])
+        assert ctx.counters["curves_evaluated"] == evaluated + 1
+        assert second.curves != first.curves
+        # the same *object* again hits the refreshed cache
+        ctx.sweep([spec], [second_model])
+        assert ctx.counters["curves_evaluated"] == evaluated + 1

@@ -1,0 +1,46 @@
+"""Serve-layer fixtures: one corpus + graph store pair and a warm service.
+
+The stores are written once per session from the shared ``tiny_network``
+with deliberately small shard sizes, so every serve test exercises the
+multi-shard mmap path; the warm service over them is session-scoped and
+treated as read-only by every test (its own thread-safety test included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import CorpusWriter, GraphWriter
+from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
+from repro.serve import AvailabilityService
+
+CORPUS_SHARD_TOOTS = 700
+GRAPH_SHARD_EDGES = 500
+
+
+@pytest.fixture(scope="session")
+def serve_corpus_dir(tiny_network, tmp_path_factory):
+    """The tiny crawl streamed into a multi-shard columnar corpus."""
+    target = tmp_path_factory.mktemp("serve-corpus")
+    writer = CorpusWriter(target, shard_size=CORPUS_SHARD_TOOTS)
+    result = TootCrawler(SimulatedTransport(tiny_network), threads=4).crawl(sink=writer)
+    writer.finalise(crawl_minute=result.crawl_minute)
+    return target
+
+
+@pytest.fixture(scope="session")
+def serve_graph_dir(tiny_network, tmp_path_factory):
+    """The tiny follower crawl streamed into a multi-shard edge store."""
+    target = tmp_path_factory.mktemp("serve-graph")
+    writer = GraphWriter(target, shard_size=GRAPH_SHARD_EDGES)
+    result = FollowerGraphCrawler(SimulatedTransport(tiny_network), threads=4).crawl(
+        sink=writer
+    )
+    writer.finalise(crawl_minute=result.crawl_minute)
+    return target
+
+
+@pytest.fixture(scope="session")
+def service(serve_corpus_dir, serve_graph_dir) -> AvailabilityService:
+    """One mmap-backed service over both stores, shared read-only."""
+    return AvailabilityService(serve_corpus_dir, serve_graph_dir, mmap=True)

@@ -281,3 +281,81 @@ class TestRunCommand:
         assert len(result.tables) >= 1
         assert len(result.series) >= 1
         assert 0.0 <= result.scalar("no_rep_top10_instances_by_toots") <= 1.0
+
+
+class TestServeCommand:
+    def test_serve_parser_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "corp", "--graph", "gr", "--port", "9000", "--stdin",
+             "--no-mmap", "--warm", "no-rep", "s-rep"]
+        )
+        assert args.corpus_dir == "corp"
+        assert args.graph_dir == "gr"
+        assert args.port == 9000
+        assert args.stdin and args.no_mmap
+        assert args.warm == ["no-rep", "s-rep"]
+        assert callable(args.func)
+
+    def test_serve_warm_flag_variants(self):
+        assert build_parser().parse_args(["serve", "corp"]).warm is None
+        assert build_parser().parse_args(["serve", "corp", "--warm"]).warm == []
+
+    def test_serve_requires_corpus_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_missing_corpus_is_exit_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nowhere"), "--stdin"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_corrupt_manifest_names_dir_and_key(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corp"
+        assert main(["collect", "--corpus", str(corpus_dir), "--preset", "tiny",
+                     "--seed", "3"]) == 0
+        capsys.readouterr()
+        manifest = json.loads((corpus_dir / "manifest.json").read_text())
+        manifest["n_toots"] += 5
+        (corpus_dir / "manifest.json").write_text(json.dumps(manifest))
+
+        assert main(["serve", str(corpus_dir), "--stdin"]) == 2
+        err = capsys.readouterr().err
+        assert str(corpus_dir) in err
+        assert "key 'n_toots'" in err
+
+        # `run` pre-validates user-supplied stores the same way
+        assert main(["run", "fig16", "--preset", "tiny", "--seed", "3",
+                     "--corpus", str(corpus_dir)]) == 2
+        err = capsys.readouterr().err
+        assert str(corpus_dir) in err
+        assert "key 'n_toots'" in err
+
+    def test_serve_warm_unknown_strategy_is_exit_2(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "corp"
+        assert main(["collect", "--corpus", str(corpus_dir), "--preset", "tiny",
+                     "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(corpus_dir), "--stdin", "--warm", "bogus"]) == 2
+        assert "unknown placement strategy" in capsys.readouterr().err
+
+    def test_serve_stdin_end_to_end(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        corpus_dir = tmp_path / "corp"
+        graph_dir = tmp_path / "gr"
+        assert main(["collect", "--corpus", str(corpus_dir), "--graph",
+                     str(graph_dir), "--preset", "tiny", "--seed", "3"]) == 0
+        capsys.readouterr()
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "meta\n"
+            "availability strategy=s-rep failure=instances/by_toots k=10\n"
+            "quit\n"
+        ))
+        assert main(["serve", str(corpus_dir), "--graph", str(graph_dir),
+                     "--stdin", "--warm"]) == 0
+        out = capsys.readouterr().out
+        lines = [json.loads(line) for line in out.splitlines()
+                 if line.startswith("{")]
+        assert lines[0]["n_toots"] > 0
+        assert lines[0]["mmap"] is True
+        assert 0.0 <= lines[1]["availability"] <= 1.0
+        assert "warmed no-rep, s-rep" in out

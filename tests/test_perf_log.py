@@ -1,0 +1,55 @@
+"""The consolidated bench recorder rejects corrupt measurements."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.perf_log import SCHEMA, _check_metrics, record
+
+
+class TestMetricValidation:
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="'p50_ms' is NaN"):
+            _check_metrics({"p50_ms": float("nan")})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="'qps' is negative"):
+            _check_metrics({"qps": -1.5})
+
+    def test_nested_keys_are_dotted(self):
+        with pytest.raises(ValueError, match="'latency.p99_ms' is NaN"):
+            _check_metrics({"latency": {"p99_ms": float("nan")}})
+
+    def test_bools_strings_and_none_pass(self):
+        _check_metrics({
+            "hard_gates": False,
+            "preset": "large",
+            "note": None,
+            "count": 0,
+            "ratio": 3.5,
+        })
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            _check_metrics({"n_queries": -1})
+
+
+class TestRecord:
+    def test_rejected_payload_writes_nothing(self, tmp_path):
+        target = tmp_path / "bench.json"
+        with pytest.raises(ValueError, match="NaN"):
+            record("broken", {"p50_ms": float("nan")}, path=target)
+        assert not target.exists()
+
+    def test_valid_payload_merges_by_section(self, tmp_path):
+        target = tmp_path / "bench.json"
+        record("first", {"seconds": 1.5}, path=target)
+        record("second", {"qps": 100.0}, path=target)
+        record("first", {"seconds": 2.0}, path=target)
+        document = json.loads(target.read_text())
+        assert document["schema"] == SCHEMA
+        assert set(document["entries"]) == {"first", "second"}
+        assert document["entries"]["first"]["seconds"] == 2.0
+        assert document["entries"]["first"]["cpu_count"] >= 1
