@@ -34,8 +34,14 @@ from typing import TYPE_CHECKING
 from repro.errors import ReproError
 from repro.fediverse import FediverseNetwork, ScenarioConfig, ScenarioGenerator, build_scenario
 from repro.crawler import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultRates,
+    FaultyTransport,
     FollowerGraphCrawler,
     InstanceMonitor,
+    ResilientTransport,
+    RetryPolicy,
     SimulatedTransport,
     TootCrawler,
 )
@@ -47,9 +53,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __version__ = "1.0.0"
 
 __all__ = [
+    "CircuitBreaker",
     "CollectedDatasets",
+    "FaultInjector",
+    "FaultRates",
+    "FaultyTransport",
     "FediverseNetwork",
     "GraphDataset",
+    "ResilientTransport",
+    "RetryPolicy",
     "InstancesDataset",
     "ReproError",
     "ScenarioConfig",
@@ -78,6 +90,13 @@ class CollectedDatasets:
     #: crawl streamed to disk (``collect_datasets(..., graph_dir=...)``);
     #: ``None`` on the in-memory record path.
     graph_store: "GraphStore | None" = None
+    #: Fetched-versus-attempted accounting of the toot crawl
+    #: (:meth:`CrawlCoverage.as_dict
+    #: <repro.crawler.toot_crawler.CrawlCoverage.as_dict>`); ``None``
+    #: only when an existing corpus without coverage was reused.
+    coverage: "dict | None" = None
+    #: The follower crawl's coverage accounting, same shape.
+    graph_coverage: "dict | None" = None
 
 
 def collect_datasets(
@@ -88,6 +107,12 @@ def collect_datasets(
     corpus_shard_size: int | None = None,
     graph_dir: "str | Path | None" = None,
     graph_shard_size: int | None = None,
+    fault_rates: "FaultRates | float | None" = None,
+    fault_seed: int = 0,
+    retry_policy: "RetryPolicy | int | None" = None,
+    breaker: "CircuitBreaker | None" = None,
+    resume: bool = False,
+    politeness_delay: float = 0.0,
 ) -> CollectedDatasets:
     """Run the full measurement pipeline against a simulated fediverse.
 
@@ -118,16 +143,47 @@ def collect_datasets(
     decoded edges (identical graph, since the store preserves crawl
     order).  An existing graph manifest is reused the same way a corpus
     one is.  ``graph_shard_size`` overrides the edges-per-shard split.
+
+    Resilience knobs: ``fault_rates`` (a
+    :class:`~repro.crawler.faults.FaultRates`, or a float total rate
+    split uniformly across the failure modes) wraps the transport in a
+    seeded chaos layer (``fault_seed``); ``retry_policy`` (a
+    :class:`~repro.crawler.resilient.RetryPolicy`, or an int
+    ``max_attempts``) plus an optional per-instance circuit ``breaker``
+    wrap it in retries with backoff.  The monitor and both crawlers all
+    route through the same wrapped transport.  ``resume=True`` reopens
+    interrupted corpus/graph writers from their crawl journals — sealed
+    instances are never re-crawled; ``politeness_delay`` spaces
+    per-instance requests (useful to widen the crash window in tests).
     """
     transport = SimulatedTransport(network)
+    if fault_rates is not None:
+        rates = (
+            fault_rates
+            if isinstance(fault_rates, FaultRates)
+            else FaultRates.uniform(float(fault_rates))
+        )
+        transport = FaultyTransport(transport, FaultInjector(seed=fault_seed, rates=rates))
+    if retry_policy is not None:
+        policy = (
+            retry_policy
+            if isinstance(retry_policy, RetryPolicy)
+            else RetryPolicy(max_attempts=int(retry_policy))
+        )
+        transport = ResilientTransport(transport, policy=policy, breaker=breaker)
     monitor = InstanceMonitor(transport, network.domains(), monitor_interval_minutes)
     log = monitor.run()
     instances = InstancesDataset.build(network, log)
 
-    toot_crawler = TootCrawler(transport, threads=crawl_threads)
+    toot_crawler = TootCrawler(
+        transport, threads=crawl_threads, politeness_delay=politeness_delay
+    )
     corpus = None
+    coverage = None
     if corpus_dir is None:
-        toots = TootsDataset.from_crawl(toot_crawler.crawl())
+        crawl = toot_crawler.crawl()
+        toots = TootsDataset.from_crawl(crawl)
+        coverage = crawl.coverage().as_dict()
     else:
         from repro.corpus import DEFAULT_CORPUS_SHARD_SIZE, CorpusStore, CorpusWriter
 
@@ -142,19 +198,27 @@ def collect_datasets(
                     f"scenario ({len(unknown)} unknown instance domain(s), e.g. "
                     f"{sorted(unknown)[0]!r}); point --corpus at a fresh directory"
                 )
+            coverage = corpus.coverage
         else:
             writer = CorpusWriter(
                 corpus_dir,
                 shard_size=corpus_shard_size or DEFAULT_CORPUS_SHARD_SIZE,
+                resume=resume,
             )
             crawl = toot_crawler.crawl(sink=writer)
-            corpus = writer.finalise(crawl_minute=crawl.crawl_minute)
+            coverage = crawl.coverage().as_dict()
+            corpus = writer.finalise(crawl_minute=crawl.crawl_minute, coverage=coverage)
         toots = TootsDataset.from_corpus(corpus)
 
-    graph_crawler = FollowerGraphCrawler(transport, threads=crawl_threads)
+    graph_crawler = FollowerGraphCrawler(
+        transport, threads=crawl_threads, politeness_delay=politeness_delay
+    )
     graph_store = None
+    graph_coverage = None
     if graph_dir is None:
-        graphs = GraphDataset.from_crawl(graph_crawler.crawl())
+        graph_crawl = graph_crawler.crawl()
+        graphs = GraphDataset.from_crawl(graph_crawl)
+        graph_coverage = graph_crawl.coverage().as_dict()
     else:
         from repro.corpus import DEFAULT_GRAPH_SHARD_SIZE, GraphStore, GraphWriter
 
@@ -169,13 +233,18 @@ def collect_datasets(
                     f"scenario ({len(unknown)} unknown instance domain(s), e.g. "
                     f"{sorted(unknown)[0]!r}); point --graph at a fresh directory"
                 )
+            graph_coverage = graph_store.coverage
         else:
             writer = GraphWriter(
                 graph_dir,
                 shard_size=graph_shard_size or DEFAULT_GRAPH_SHARD_SIZE,
+                resume=resume,
             )
-            crawl = graph_crawler.crawl(sink=writer)
-            graph_store = writer.finalise(crawl_minute=crawl.crawl_minute)
+            graph_crawl = graph_crawler.crawl(sink=writer)
+            graph_coverage = graph_crawl.coverage().as_dict()
+            graph_store = writer.finalise(
+                crawl_minute=graph_crawl.crawl_minute, coverage=graph_coverage
+            )
         graphs = GraphDataset.from_edges(graph_store.iter_edge_handles())
 
     return CollectedDatasets(
@@ -185,4 +254,6 @@ def collect_datasets(
         network=network,
         corpus=corpus,
         graph_store=graph_store,
+        coverage=coverage,
+        graph_coverage=graph_coverage,
     )

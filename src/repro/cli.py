@@ -23,6 +23,12 @@ O(corpus) Python objects.  ``--graph`` gives the follower crawl the
 same treatment (on-disk edge shards), and ``collect --columnar``
 generates the scenario as numpy columns and streams them straight to
 disk — the only route to the 10M-toot ``xlarge`` preset.
+
+Resilience: ``--retries`` routes every crawl request through retrying
+transports with per-instance circuit breakers, ``--fault-rate`` injects
+seeded chaos to exercise them, and ``collect --resume`` reopens an
+interrupted crawl from its journal — sealed instances are never
+re-crawled.
 """
 
 from __future__ import annotations
@@ -61,6 +67,71 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=24 * 60,
         help="monitor probe interval in minutes (default: daily)",
+    )
+
+
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "route every crawl request through the resilient transport with "
+            "up to N attempts (exponential backoff + jitter, per-instance "
+            "circuit breakers); default: no retries"
+        ),
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help=(
+            "inject seeded transport faults (timeouts, resets, 5xx, 429s, "
+            "truncated pages, instance deaths) with total probability P per "
+            "request — a chaos harness for exercising --retries"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="fault-injection seed (default: 0; faults are deterministic per seed)",
+    )
+    parser.add_argument(
+        "--retry-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "base backoff delay between retry attempts (default: 0.05; the "
+            "cap scales with it — tiny values keep chaos runs fast in CI)"
+        ),
+    )
+
+
+def _retry_policy(args: argparse.Namespace):
+    """The retry configuration described by the resilience flags.
+
+    Returns ``None`` (retries disabled), an int ``max_attempts`` for the
+    default backoff schedule, or a full
+    :class:`~repro.crawler.resilient.RetryPolicy` when ``--retry-delay``
+    reshapes the schedule (the delay cap scales with the base so a tiny
+    base cannot still escalate to multi-second sleeps).
+    """
+    if args.retries is None and args.retry_delay is None:
+        return None
+    if args.retry_delay is None:
+        return args.retries
+    from repro import RetryPolicy
+
+    attempts = args.retries if args.retries is not None else 4
+    return RetryPolicy(
+        max_attempts=attempts,
+        base_delay=args.retry_delay,
+        max_delay=min(2.0, args.retry_delay * 64),
     )
 
 
@@ -129,7 +200,25 @@ def build_parser() -> argparse.ArgumentParser:
             "network — required for the 'xlarge' preset"
         ),
     )
+    collect.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted collect: sealed instances recorded in the "
+            "crawl journal are trusted without re-crawling, partial files are "
+            "quarantined; a directory whose manifest is already complete is "
+            "reused as-is"
+        ),
+    )
+    collect.add_argument(
+        "--politeness",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="minimum delay between requests to the same instance (default: 0)",
+    )
     _add_scenario_arguments(collect)
+    _add_resilience_arguments(collect)
     collect.set_defaults(func=_command_collect)
 
     experiments = subparsers.add_parser(
@@ -226,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SEED",
         help="bootstrap seeds of the sampled churn processes (default: 0 1 2)",
     )
+    _add_resilience_arguments(run)
     run.set_defaults(func=_command_run)
 
     serve = subparsers.add_parser(
@@ -385,17 +475,27 @@ def _collect_columnar(args: argparse.Namespace) -> "tuple[object, object | None]
 
 
 def _command_collect(args: argparse.Namespace) -> int:
-    if (Path(args.corpus_dir) / "manifest.json").exists():
+    if not args.resume:
+        if (Path(args.corpus_dir) / "manifest.json").exists():
+            print(
+                f"error: {args.corpus_dir} already holds a corpus manifest; "
+                "choose a fresh directory, pass it to 'run --corpus' to reuse "
+                "it, or pass --resume",
+                file=sys.stderr,
+            )
+            return 2
+        if args.graph_dir is not None and (Path(args.graph_dir) / "manifest.json").exists():
+            print(
+                f"error: {args.graph_dir} already holds a graph manifest; "
+                "choose a fresh directory, pass it to 'run --graph' to reuse "
+                "it, or pass --resume",
+                file=sys.stderr,
+            )
+            return 2
+    if args.resume and args.columnar:
         print(
-            f"error: {args.corpus_dir} already holds a corpus manifest; "
-            "choose a fresh directory (or pass it to 'run --corpus' to reuse it)",
-            file=sys.stderr,
-        )
-        return 2
-    if args.graph_dir is not None and (Path(args.graph_dir) / "manifest.json").exists():
-        print(
-            f"error: {args.graph_dir} already holds a graph manifest; "
-            "choose a fresh directory (or pass it to 'run --graph' to reuse it)",
+            "error: --resume only applies to the crawling path; the columnar "
+            "generator writes stores in one pass",
             file=sys.stderr,
         )
         return 2
@@ -406,6 +506,7 @@ def _command_collect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    coverage = None
     try:
         if args.columnar:
             store, graph_store = _collect_columnar(args)
@@ -417,8 +518,14 @@ def _command_collect(args: argparse.Namespace) -> int:
                 corpus_dir=args.corpus_dir,
                 corpus_shard_size=args.shard_toots,
                 graph_dir=args.graph_dir,
+                fault_rates=args.fault_rate,
+                fault_seed=args.fault_seed,
+                retry_policy=_retry_policy(args),
+                resume=args.resume,
+                politeness_delay=args.politeness,
             )
             store, graph_store = data.corpus, data.graph_store
+            coverage = data.coverage
     except (ConfigurationError, DatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -431,6 +538,12 @@ def _command_collect(args: argparse.Namespace) -> int:
         ["authors", int(store.authors.shape[0])],
         ["on-disk size (MiB)", round(store.nbytes() / 2**20, 1)],
     ]
+    if coverage is not None:
+        rows += [
+            ["crawl coverage", format_percentage(coverage["coverage_fraction"])],
+            ["instances resumed", coverage.get("instances_resumed", 0)],
+            ["instances failed", coverage.get("instances_failed", 0)],
+        ]
     if graph_store is not None:
         rows += [
             ["graph edges", graph_store.n_edges],
@@ -522,6 +635,9 @@ def _command_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         corpus_dir=corpus_dir,
         graph_dir=graph_dir,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        retries=_retry_policy(args),
         **churn_kwargs,
     )
     try:

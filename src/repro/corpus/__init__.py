@@ -44,6 +44,7 @@ them — bit-identical to the record-list path.
 """
 
 from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
+from repro.corpus.journal import CrawlJournal, InstanceProgress, JournalReplay
 from repro.corpus.graph import (
     DEFAULT_GRAPH_SHARD_SIZE,
     GRAPH_SCHEMA,
@@ -64,6 +65,9 @@ __all__ = [
     "CorpusStore",
     "CorpusUrls",
     "CorpusWriter",
+    "CrawlJournal",
+    "InstanceProgress",
+    "JournalReplay",
     "DEFAULT_CORPUS_SHARD_SIZE",
     "DEFAULT_GRAPH_SHARD_SIZE",
     "GRAPH_SCHEMA",

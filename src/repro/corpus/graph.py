@@ -26,17 +26,29 @@ existing.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import threading
 import time
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.corpus.journal import JOURNAL_NAME, CrawlJournal
 from repro.corpus.npzmap import open_npz
-from repro.corpus.writer import _Interner, _SpoolReader, _string_array, _write_strings
+from repro.corpus.writer import (
+    _PARTIAL_SUFFIX,
+    _QUARANTINE_DIR,
+    _Interner,
+    _SpoolReader,
+    _atomic_savez,
+    _atomic_write_text,
+    _quarantine,
+    _string_array,
+    _write_strings,
+)
 from repro.crawler.graph_crawler import split_handle
 
 #: On-disk graph format version.
@@ -108,6 +120,7 @@ class GraphWriter:
         self,
         path: str | Path,
         shard_size: int = DEFAULT_GRAPH_SHARD_SIZE,
+        resume: bool = False,
     ) -> None:
         if shard_size < 1:
             raise DatasetError("graph shard_size must be a positive number of edges")
@@ -115,11 +128,57 @@ class GraphWriter:
         self.shard_size = shard_size
         self.path.mkdir(parents=True, exist_ok=True)
         self._spool_dir = self.path / _SPOOL_DIR
-        self._spool_dir.mkdir(exist_ok=True)
         self._lock = threading.Lock()
         self._spools: dict[str, _EdgeSpool] = {}
         self._sealed: dict[str, Path] = {}
+        self._resumed: set[str] = set()
+        self._resumed_rows: dict[str, int] = {}
         self._finalised = False
+        self._journal = CrawlJournal(self.path / JOURNAL_NAME)
+        if resume:
+            self._recover()
+        elif self._journal.path.exists():
+            raise DatasetError(
+                f"{self.path} holds an interrupted crawl journal; "
+                f"open the writer with resume=True or clear the directory"
+            )
+        self._spool_dir.mkdir(exist_ok=True)
+
+    def _recover(self) -> None:
+        """Trust journal-sealed spools; quarantine every partial write."""
+        replay = CrawlJournal.replay(self._journal.path)
+        trusted = replay.sealed_domains()
+        quarantine = self.path / _QUARANTINE_DIR
+        if self._spool_dir.exists():
+            for entry in sorted(self._spool_dir.iterdir()):
+                if entry.is_dir() and entry.name in trusted:
+                    self._sealed[entry.name] = entry
+                    self._resumed.add(entry.name)
+                    progress = replay.progress.get(entry.name)
+                    self._resumed_rows[entry.name] = progress.rows if progress else 0
+                else:
+                    _quarantine(entry, quarantine)
+        if not (self.path / _MANIFEST).exists():
+            for pattern in ("edges-*.npz", _TABLES, f"*{_PARTIAL_SUFFIX}"):
+                for entry in sorted(self.path.glob(pattern)):
+                    _quarantine(entry, quarantine)
+        if self._resumed:
+            self._journal.note("resumed", trusted=sorted(self._resumed))
+
+    def sealed_domains(self) -> set[str]:
+        """Instances whose spools are sealed on disk (resumed ones included)."""
+        with self._lock:
+            return set(self._sealed)
+
+    def resumed_domains(self) -> set[str]:
+        """Sealed instances recovered from a previous run's journal."""
+        with self._lock:
+            return set(self._resumed)
+
+    def resumed_rows(self) -> dict[str, int]:
+        """Journal-recorded edge counts of the resumed instances."""
+        with self._lock:
+            return dict(self._resumed_rows)
 
     # -- streaming ingestion ---------------------------------------------------
 
@@ -136,7 +195,9 @@ class GraphWriter:
 
     def add_edges(self, domain: str, edges: Iterable[tuple[str, str]]) -> int:
         """Buffer ``(follower, followed)`` handle pairs observed on ``domain``."""
-        return self._spool(domain).add_edges(edges)
+        added = self._spool(domain).add_edges(edges)
+        self._journal.page(domain, added)
+        return added
 
     def end_instance(self, domain: str) -> None:
         """Seal ``domain``'s spool (its crawl completed cleanly).
@@ -155,19 +216,28 @@ class GraphWriter:
                 spool = _EdgeSpool(domain)
             target = self._spool_dir / domain
             self._sealed[domain] = target
-        spool.seal(target)
+        staging = target.with_name(target.name + _PARTIAL_SUFFIX)
+        spool.seal(staging)
+        os.replace(staging, target)
+        self._journal.sealed(domain)
 
     def discard_instance(self, domain: str) -> None:
         """Drop everything buffered for ``domain`` (its crawl failed)."""
         with self._lock:
             self._spools.pop(domain, None)
             sealed = self._sealed.pop(domain, None)
+            self._resumed.discard(domain)
         if sealed is not None:
             shutil.rmtree(sealed, ignore_errors=True)
+        self._journal.discarded(domain)
 
     # -- the merge -------------------------------------------------------------
 
-    def finalise(self, crawl_minute: int = 0) -> "GraphStore":
+    def finalise(
+        self,
+        crawl_minute: int = 0,
+        coverage: Mapping[str, Any] | None = None,
+    ) -> "GraphStore":
         """Merge every sealed spool into edge shards + tables + manifest.
 
         Instances merge in sorted-domain order (the scheduler returns
@@ -186,6 +256,7 @@ class GraphWriter:
                     f"cannot finalise with open instance spools: {unsealed}"
                 )
             self._finalised = True
+        self._journal.note("finalise_started")
 
         nodes = _Interner()
         domains = _Interner()
@@ -213,7 +284,7 @@ class GraphWriter:
                     shard_arrays[name] = merged[:take]
                     pending[name] = [merged[take:]]
                 file_name = f"edges-{len(shards):05d}.npz"
-                np.savez(self.path / file_name, **shard_arrays)
+                _atomic_savez(self.path / file_name, **shard_arrays)
                 shards.append(
                     {"file": file_name, "start": flushed_rows, "stop": flushed_rows + take}
                 )
@@ -244,10 +315,9 @@ class GraphWriter:
                 pending["followed_code"].append(np.asarray(dst, dtype=np.int32))
                 pending_rows += len(src)
                 flush()
-            shutil.rmtree(self._sealed[domain], ignore_errors=True)
         flush(everything=True)
 
-        np.savez(
+        _atomic_savez(
             self.path / _TABLES,
             handles=_string_array(nodes.values),
             node_domains=np.asarray(node_domains, dtype=np.int32),
@@ -268,10 +338,13 @@ class GraphWriter:
                 domain: int(count) for domain, count in sorted(edges_collected.items())
             },
         }
-        (self.path / _MANIFEST).write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        if coverage is not None:
+            manifest["coverage"] = dict(coverage)
+        _atomic_write_text(
+            self.path / _MANIFEST, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )
         shutil.rmtree(self._spool_dir, ignore_errors=True)
+        self._journal.remove()
         return GraphStore(self.path)
 
 
@@ -377,6 +450,32 @@ class GraphStore:
         names = [entry["file"] for entry in self.manifest["shards"]]
         names += [self.manifest["tables"], _MANIFEST]
         return sum((self.path / name).stat().st_size for name in names)
+
+    @property
+    def coverage(self) -> dict[str, Any] | None:
+        """The crawl-coverage accounting stamped at finalise (if any)."""
+        return self.manifest.get("coverage")
+
+    def content_digest(self) -> str:
+        """SHA-256 over the graph *content*, independent of file bytes.
+
+        The graph analogue of :meth:`CorpusStore.content_digest
+        <repro.corpus.store.CorpusStore.content_digest>`: decompressed
+        edge columns + node tables + the manifest minus volatile keys.
+        """
+        import hashlib
+
+        from repro.corpus.store import digest_array, stable_manifest_digest
+
+        digest = hashlib.sha256()
+        for name in ("handles", "node_domains", "domains"):
+            digest_array(digest, name, self._table(name))
+        for index in range(self.n_shards):
+            follower, followed = self.shard_edges(index)
+            digest_array(digest, f"shard{index}:follower_code", follower)
+            digest_array(digest, f"shard{index}:followed_code", followed)
+        stable_manifest_digest(digest, self.manifest)
+        return digest.hexdigest()
 
     @property
     def edges_collected(self) -> dict[str, int]:

@@ -1,0 +1,165 @@
+"""The append-only crawl journal behind resumable ``collect`` runs.
+
+:class:`CrawlJournal` is a JSONL event log kept next to a corpus/graph
+store being written (``journal.jsonl``): every page ingested, every
+instance sealed or discarded, appends one line and flushes it to the OS,
+so the journal is at most one event behind reality when the process is
+killed.  On restart, :meth:`CrawlJournal.replay` folds the surviving
+lines into per-instance :class:`InstanceProgress` — which instances were
+sealed (their spools are trusted and skipped), which were mid-flight
+(their partial state is quarantined and re-crawled), and how far each
+got (pages, rows, ``last_max_id``).
+
+A crash can truncate the final line mid-write; replay tolerates exactly
+one trailing undecodable line and rejects corruption anywhere else, so a
+damaged journal fails loudly instead of silently dropping instances.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO
+
+from repro.errors import DatasetError
+
+#: The journal file name, next to the store's manifest.
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass(slots=True)
+class InstanceProgress:
+    """What the journal knows about one instance's crawl."""
+
+    domain: str
+    pages: int = 0
+    rows: int = 0
+    last_max_id: int | None = None
+    state: str = "open"  # open | sealed | discarded
+
+    @property
+    def sealed(self) -> bool:
+        """Whether the instance's spool completed and was sealed to disk."""
+        return self.state == "sealed"
+
+
+@dataclass(slots=True)
+class JournalReplay:
+    """The folded state of a journal: per-instance progress + counters."""
+
+    progress: dict[str, InstanceProgress] = field(default_factory=dict)
+    events: int = 0
+    truncated_tail: bool = False
+
+    def sealed_domains(self) -> set[str]:
+        """Instances whose spools the journal vouches for."""
+        return {d for d, p in self.progress.items() if p.sealed}
+
+    def open_domains(self) -> set[str]:
+        """Instances that were mid-crawl when the journal stopped."""
+        return {d for d, p in self.progress.items() if p.state == "open"}
+
+
+class CrawlJournal:
+    """Append-only JSONL progress log for one store directory.
+
+    Thread-safe: crawler workers append concurrently; each event is one
+    ``json.dumps`` line followed by a flush, so lines never interleave
+    and at most the final line can be lost to a crash.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file: IO[str] | None = None
+
+    def _append(self, event: dict[str, object]) -> None:
+        with self._lock:
+            if self._file is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = self.path.open("a", encoding="utf-8")
+            self._file.write(json.dumps(event, sort_keys=True) + "\n")
+            self._file.flush()
+
+    def page(self, domain: str, rows: int, max_id: int | None = None) -> None:
+        """Record one ingested page for ``domain``."""
+        event: dict[str, object] = {"event": "page", "domain": domain, "rows": int(rows)}
+        if max_id is not None:
+            event["max_id"] = int(max_id)
+        self._append(event)
+
+    def sealed(self, domain: str) -> None:
+        """Record that ``domain``'s spool was sealed (atomic rename done)."""
+        self._append({"event": "sealed", "domain": domain})
+
+    def discarded(self, domain: str) -> None:
+        """Record that ``domain``'s crawl failed and its spool was dropped."""
+        self._append({"event": "discarded", "domain": domain})
+
+    def note(self, kind: str, **payload: object) -> None:
+        """Record a free-form progress marker (e.g. ``finalise_started``)."""
+        event: dict[str, object] = {"event": kind}
+        event.update(payload)
+        self._append(event)
+
+    def close(self) -> None:
+        """Close the underlying file (appends reopen it transparently)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def remove(self) -> None:
+        """Delete the journal file (the store finalised successfully)."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    @classmethod
+    def replay(cls, path: str | Path) -> JournalReplay:
+        """Fold a journal file into per-instance progress.
+
+        A missing file replays to an empty state.  One undecodable
+        *final* line is tolerated (the crash interrupted that append);
+        corruption anywhere else raises :class:`DatasetError`.
+        """
+        path = Path(path)
+        replay = JournalReplay()
+        if not path.exists():
+            return replay
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    replay.truncated_tail = True
+                    break
+                raise DatasetError(
+                    f"corrupt crawl journal {path}: undecodable line {index + 1}"
+                ) from None
+            if not isinstance(event, dict) or "event" not in event:
+                raise DatasetError(
+                    f"corrupt crawl journal {path}: line {index + 1} is not an event"
+                )
+            replay.events += 1
+            kind = event["event"]
+            domain = event.get("domain")
+            if not isinstance(domain, str):
+                continue  # free-form notes carry no per-instance state
+            progress = replay.progress.get(domain)
+            if progress is None:
+                progress = replay.progress[domain] = InstanceProgress(domain)
+            if kind == "page":
+                progress.pages += 1
+                progress.rows += int(event.get("rows", 0))
+                if "max_id" in event:
+                    progress.last_max_id = int(event["max_id"])
+            elif kind == "sealed":
+                progress.state = "sealed"
+            elif kind == "discarded":
+                progress.state = "discarded"
+        return replay

@@ -12,6 +12,7 @@ which the scale paths never call.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Iterator, Sequence
@@ -23,6 +24,29 @@ from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA, TootColumns
 from repro.corpus.npzmap import open_npz
 
 _MANIFEST = "manifest.json"
+
+#: Manifest keys that vary per run without changing the corpus content
+#: (timestamps, crawl-coverage accounting) — excluded from digests.
+VOLATILE_MANIFEST_KEYS = ("created_at", "coverage")
+
+
+def digest_array(digest: "hashlib._Hash", name: str, array: np.ndarray) -> None:
+    """Fold one named array (dtype + shape + raw bytes) into a digest."""
+    array = np.ascontiguousarray(array)
+    digest.update(name.encode("utf-8"))
+    digest.update(str(array.dtype).encode("utf-8"))
+    digest.update(repr(array.shape).encode("utf-8"))
+    digest.update(array.tobytes())
+
+
+def stable_manifest_digest(digest: "hashlib._Hash", manifest: dict[str, Any]) -> None:
+    """Fold the non-volatile manifest keys (canonical JSON) into a digest."""
+    stable = {
+        key: value
+        for key, value in manifest.items()
+        if key not in VOLATILE_MANIFEST_KEYS
+    }
+    digest.update(json.dumps(stable, sort_keys=True).encode("utf-8"))
 
 #: Manifest keys that must be present (and their JSON types).
 _REQUIRED_KEYS = {
@@ -143,6 +167,34 @@ class CorpusStore:
         names = [entry["file"] for entry in self.manifest["shards"]]
         names += [self.manifest["tables"], _MANIFEST]
         return sum((self.path / name).stat().st_size for name in names)
+
+    @property
+    def coverage(self) -> dict[str, Any] | None:
+        """The crawl-coverage accounting stamped at finalise (if any).
+
+        ``None`` for corpora written before coverage existed or built
+        from non-crawl sources; see :class:`CrawlCoverage
+        <repro.crawler.toot_crawler.CrawlCoverage>` for the keys.
+        """
+        return self.manifest.get("coverage")
+
+    def content_digest(self) -> str:
+        """SHA-256 over the corpus *content*, independent of file bytes.
+
+        Hashes every decompressed shard column, the intern tables, and
+        the manifest minus its volatile keys — ``.npz`` files embed zip
+        member timestamps, so raw bytes differ between two writes of the
+        same corpus while this digest does not.  The differential
+        fault-injection suite compares exactly this.
+        """
+        digest = hashlib.sha256()
+        for name in ("domains", "authors", "hashtags", "replication_counts"):
+            digest_array(digest, name, self._table(name))
+        for index in range(self.n_shards):
+            for name in COLUMN_NAMES:
+                digest_array(digest, f"shard{index}:{name}", self.shard_column(index, name))
+        stable_manifest_digest(digest, self.manifest)
+        return digest.hexdigest()
 
     # -- intern tables ---------------------------------------------------------
 

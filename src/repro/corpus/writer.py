@@ -27,6 +27,7 @@ and sliceable by row range without decoding the rest.
 from __future__ import annotations
 
 import json
+import os
 import shutil
 import threading
 import time
@@ -37,6 +38,7 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA
+from repro.corpus.journal import JOURNAL_NAME, CrawlJournal
 
 #: Default toots per shard: aligned with the engine's streaming default
 #: (:data:`repro.engine.sharding.DEFAULT_SHARD_SIZE`) so corpus shard
@@ -51,6 +53,43 @@ _MERGE_CHUNK_ROWS = 200_000
 _MANIFEST = "manifest.json"
 _TABLES = "tables.npz"
 _SPOOL_DIR = "spool"
+_QUARANTINE_DIR = "quarantine"
+
+#: Suffix of in-flight writes (spool seals, shards, manifests); anything
+#: carrying it after a crash is, by construction, a partial write.
+_PARTIAL_SUFFIX = ".part"
+
+
+def _atomic_savez(target: Path, **arrays: np.ndarray) -> None:
+    """Write an ``.npz`` so it exists either completely or not at all.
+
+    ``np.savez`` writes to an open file object (passing a path would
+    append its own ``.npz`` suffix to the temp name); the final
+    ``os.replace`` is atomic on POSIX, so a crash leaves only a
+    ``*.part`` file that recovery quarantines.
+    """
+    tmp = target.with_name(target.name + _PARTIAL_SUFFIX)
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+    os.replace(tmp, target)
+
+
+def _atomic_write_text(target: Path, text: str) -> None:
+    """Write a text file via temp + atomic rename."""
+    tmp = target.with_name(target.name + _PARTIAL_SUFFIX)
+    tmp.write_text(text)
+    os.replace(tmp, target)
+
+
+def _quarantine(entry: Path, quarantine_dir: Path) -> None:
+    """Move a partial write out of the way, never overwriting evidence."""
+    quarantine_dir.mkdir(exist_ok=True)
+    target = quarantine_dir / entry.name
+    suffix = 0
+    while target.exists():
+        suffix += 1
+        target = quarantine_dir / f"{entry.name}.{suffix}"
+    shutil.move(str(entry), str(target))
 
 _SPOOL_VALUE_COLUMNS = (
     "toot_id",
@@ -343,12 +382,21 @@ class CorpusWriter:
     :meth:`end_instance`, then :meth:`finalise` once every instance is
     in.  Page/record ingestion is thread-safe at instance granularity
     (each instance is crawled by exactly one worker).
+
+    Crash safety: every page appends to an on-disk crawl journal, spools
+    seal via temp + atomic rename, and shards/tables/manifest are
+    written atomically.  ``resume=True`` replays the journal of an
+    interrupted run — journal-sealed spools are trusted and reported via
+    :meth:`sealed_domains` (crawlers skip them), while partial writes
+    (unsealed spools, ``*.part`` files, orphaned shards) are moved to a
+    ``quarantine/`` subdirectory rather than silently merged.
     """
 
     def __init__(
         self,
         path: str | Path,
         shard_size: int = DEFAULT_CORPUS_SHARD_SIZE,
+        resume: bool = False,
     ) -> None:
         if shard_size < 1:
             raise DatasetError("corpus shard_size must be a positive number of toots")
@@ -356,11 +404,45 @@ class CorpusWriter:
         self.shard_size = shard_size
         self.path.mkdir(parents=True, exist_ok=True)
         self._spool_dir = self.path / _SPOOL_DIR
-        self._spool_dir.mkdir(exist_ok=True)
         self._lock = threading.Lock()
         self._spools: dict[str, _InstanceSpool] = {}
         self._sealed: dict[str, Path] = {}
+        self._resumed: set[str] = set()
+        self._resumed_rows: dict[str, int] = {}
         self._finalised = False
+        self._journal = CrawlJournal(self.path / JOURNAL_NAME)
+        if resume:
+            self._recover()
+        elif self._journal.path.exists():
+            raise DatasetError(
+                f"{self.path} holds an interrupted crawl journal; "
+                f"open the writer with resume=True or clear the directory"
+            )
+        self._spool_dir.mkdir(exist_ok=True)
+
+    # -- crash recovery --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Trust journal-sealed spools; quarantine every partial write."""
+        replay = CrawlJournal.replay(self._journal.path)
+        trusted = replay.sealed_domains()
+        quarantine = self.path / _QUARANTINE_DIR
+        if self._spool_dir.exists():
+            for entry in sorted(self._spool_dir.iterdir()):
+                if entry.is_dir() and entry.name in trusted:
+                    self._sealed[entry.name] = entry
+                    self._resumed.add(entry.name)
+                    progress = replay.progress.get(entry.name)
+                    self._resumed_rows[entry.name] = progress.rows if progress else 0
+                else:
+                    _quarantine(entry, quarantine)
+        # an interrupted finalise leaves orphaned output files behind
+        if not (self.path / _MANIFEST).exists():
+            for pattern in ("shard-*.npz", _TABLES, f"*{_PARTIAL_SUFFIX}"):
+                for entry in sorted(self.path.glob(pattern)):
+                    _quarantine(entry, quarantine)
+        if self._resumed:
+            self._journal.note("resumed", trusted=sorted(self._resumed))
 
     # -- streaming ingestion ---------------------------------------------------
 
@@ -375,9 +457,28 @@ class CorpusWriter:
                 spool = self._spools[domain] = _InstanceSpool(domain)
             return spool
 
+    def sealed_domains(self) -> set[str]:
+        """Instances whose spools are sealed on disk (resumed ones included)."""
+        with self._lock:
+            return set(self._sealed)
+
+    def resumed_domains(self) -> set[str]:
+        """Sealed instances recovered from a previous run's journal."""
+        with self._lock:
+            return set(self._resumed)
+
+    def resumed_rows(self) -> dict[str, int]:
+        """Journal-recorded row counts of the resumed instances."""
+        with self._lock:
+            return dict(self._resumed_rows)
+
     def add_page(self, domain: str, payload: Iterable[Mapping[str, Any]]) -> int:
         """Encode one timeline page for ``domain``; returns toots added."""
-        return self._spool(domain).add_page(payload)
+        spool = self._spool(domain)
+        added = spool.add_page(payload)
+        max_id = min(spool.toot_id[-added:]) if added else None
+        self._journal.page(domain, added, max_id=max_id)
+        return added
 
     def add_records(self, domain: str, records: Iterable["TootRecord"]) -> int:
         """Encode records observed on ``domain`` (non-crawler ingestion)."""
@@ -412,24 +513,38 @@ class CorpusWriter:
                 spool = _InstanceSpool(domain)
             target = self._spool_dir / domain
             self._sealed[domain] = target
-        spool.seal(target)
+        staging = target.with_name(target.name + _PARTIAL_SUFFIX)
+        spool.seal(staging)
+        os.replace(staging, target)
+        self._journal.sealed(domain)
 
     def discard_instance(self, domain: str) -> None:
         """Drop everything buffered for ``domain`` (its crawl failed)."""
         with self._lock:
             self._spools.pop(domain, None)
             sealed = self._sealed.pop(domain, None)
+            self._resumed.discard(domain)
         if sealed is not None:
             shutil.rmtree(sealed, ignore_errors=True)
+        self._journal.discarded(domain)
 
     # -- the merge -------------------------------------------------------------
 
-    def finalise(self, crawl_minute: int = 0) -> "CorpusStore":
+    def finalise(
+        self,
+        crawl_minute: int = 0,
+        coverage: Mapping[str, Any] | None = None,
+    ) -> "CorpusStore":
         """Merge every sealed spool into shards + tables + manifest.
 
         Instances merge in sorted-domain order with first-seen-URL
         dedup, reproducing ``unique_toots()`` exactly; duplicates only
-        bump the replication counters.  Returns the opened
+        bump the replication counters.  ``coverage`` (a JSON-ready
+        mapping, see :meth:`CrawlCoverage.as_dict
+        <repro.crawler.toot_crawler.CrawlCoverage.as_dict>`) is stamped
+        into the manifest so a partial corpus says so.  Spools are only
+        deleted after the manifest lands — a crash mid-merge stays fully
+        resumable.  Returns the opened
         :class:`~repro.corpus.store.CorpusStore`.
         """
         if self._finalised:
@@ -441,6 +556,7 @@ class CorpusWriter:
                     f"cannot finalise with open instance spools: {unsealed}"
                 )
             self._finalised = True
+        self._journal.note("finalise_started")
 
         url_code: dict[str, int] = {}
         domains = _Interner()
@@ -463,7 +579,7 @@ class CorpusWriter:
                 take = min(self.shard_size, pending_rows)
                 shard_arrays = _take_shard(pending, take)
                 file_name = f"shard-{len(shards):05d}.npz"
-                np.savez(self.path / file_name, **shard_arrays)
+                _atomic_savez(self.path / file_name, **shard_arrays)
                 shards.append(
                     {"file": file_name, "start": flushed_rows, "stop": flushed_rows + take}
                 )
@@ -569,12 +685,11 @@ class CorpusWriter:
                 del urls
                 flush()
             observations[domain] = (home_observed, n_rows - home_observed)
-            shutil.rmtree(self._sealed[domain], ignore_errors=True)
         flush(everything=True)
 
         n_toots = flushed_rows
         replication.ensure(n_toots)
-        np.savez(
+        _atomic_savez(
             self.path / _TABLES,
             domains=_string_array(domains.values),
             authors=_string_array(authors.values),
@@ -601,10 +716,13 @@ class CorpusWriter:
                 domain: list(counts) for domain, counts in sorted(observations.items())
             },
         }
-        (self.path / _MANIFEST).write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        if coverage is not None:
+            manifest["coverage"] = dict(coverage)
+        _atomic_write_text(
+            self.path / _MANIFEST, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
         )
         shutil.rmtree(self._spool_dir, ignore_errors=True)
+        self._journal.remove()
 
         from repro.corpus.store import CorpusStore
 

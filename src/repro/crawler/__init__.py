@@ -11,9 +11,15 @@ The package provides the three collectors behind the paper's datasets:
 
 All of them speak to instances exclusively through
 :class:`~repro.crawler.http.SimulatedTransport`, which exposes the same
-URL surface a real deployment would.
+URL surface a real deployment would.  For resilience, every crawler can
+route through :class:`~repro.crawler.resilient.ResilientTransport`
+(retries + backoff + per-instance circuit breakers), and the chaos
+harness :class:`~repro.crawler.faults.FaultyTransport` injects the
+failure modes a live fediverse exhibits, deterministically.
 """
 
+from repro.crawler.faults import FAILURE_CLASSES, FaultInjector, FaultRates, FaultyTransport, classify_error
+from repro.crawler.resilient import CircuitBreaker, ResilientTransport, RetryPolicy, is_retryable
 from repro.crawler.http import HTTPResponse, SimulatedTransport, toot_to_payload
 from repro.crawler.monitor import InstanceMonitor, InstanceSnapshot, MonitoringLog
 from repro.crawler.scheduler import CrawlScheduler, RateLimiter
@@ -21,7 +27,12 @@ from repro.crawler.toot_crawler import TootCrawler, TootRecord
 from repro.crawler.graph_crawler import FollowerGraphCrawler, FollowEdgeRecord
 
 __all__ = [
+    "CircuitBreaker",
     "CrawlScheduler",
+    "FAILURE_CLASSES",
+    "FaultInjector",
+    "FaultRates",
+    "FaultyTransport",
     "FollowEdgeRecord",
     "FollowerGraphCrawler",
     "HTTPResponse",
@@ -29,8 +40,12 @@ __all__ = [
     "InstanceSnapshot",
     "MonitoringLog",
     "RateLimiter",
+    "ResilientTransport",
+    "RetryPolicy",
     "SimulatedTransport",
     "TootCrawler",
     "TootRecord",
+    "classify_error",
+    "is_retryable",
     "toot_to_payload",
 ]

@@ -1,0 +1,329 @@
+"""Deterministic fault injection: the chaos harness behind the crawlers.
+
+The paper's crawlers ran against a live fediverse where instances time
+out, reset connections, rate-limit, serve truncated pages, and die
+mid-crawl.  :class:`FaultyTransport` reproduces those failure modes as a
+decorator over :class:`~repro.crawler.http.SimulatedTransport`: before a
+request reaches the simulated instance, a seeded :class:`FaultInjector`
+may raise one of the transient errors a real HTTP client would surface
+(timeouts, connection resets, 5xx, 429-with-Retry-After, truncated or
+malformed bodies, multi-request instance death).
+
+Determinism is the whole point — the injector keeps one RNG stream *per
+instance domain*, seeded from ``(seed, domain)``, so the fault sequence
+an instance experiences depends only on the seed and on how many
+requests that instance has served, never on thread interleaving.  The
+same seed therefore produces the same chaos whether the crawl runs on
+one thread or ten, which is what lets the differential suite assert that
+a fault-injected crawl with retries enabled produces a byte-identical
+corpus to the fault-free crawl.
+
+Truncated/malformed pages are raised at the transport boundary rather
+than returned as corrupt payloads: they model the client-side parse
+(``json.JSONDecodeError`` on a half-closed socket) failing, which is the
+point where a real crawler detects them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+from urllib.parse import urlparse
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ConnectionLostError,
+    CrawlBlockedError,
+    HTTPError,
+    InstanceUnavailableError,
+    MalformedPageError,
+    RateLimitError,
+    RequestTimeoutError,
+    ServerError,
+    TruncatedPageError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crawler.http import HTTPResponse
+    from repro.fediverse.uptime import AvailabilitySchedule
+
+#: The failure-taxonomy labels :func:`classify_error` can return.
+FAILURE_CLASSES = (
+    "offline",
+    "blocked",
+    "not_found",
+    "rate_limited",
+    "timeout",
+    "connection_reset",
+    "server_error",
+    "truncated_page",
+    "malformed_page",
+    "circuit_open",
+    "http_error",
+    "other",
+)
+
+
+def classify_error(error: BaseException) -> str:
+    """Map a crawl failure onto the coverage report's failure taxonomy.
+
+    Subclass checks run most-specific first, so e.g. an injected 429
+    classifies as ``rate_limited`` rather than the generic
+    ``http_error``; anything outside the crawl hierarchy is ``other``.
+    """
+    if isinstance(error, CircuitOpenError):
+        return "circuit_open"
+    if isinstance(error, InstanceUnavailableError):
+        return "offline"
+    if isinstance(error, CrawlBlockedError):
+        return "blocked"
+    if isinstance(error, RateLimitError):
+        return "rate_limited"
+    if isinstance(error, ServerError):
+        return "server_error"
+    if isinstance(error, RequestTimeoutError):
+        return "timeout"
+    if isinstance(error, ConnectionLostError):
+        return "connection_reset"
+    if isinstance(error, TruncatedPageError):
+        return "truncated_page"
+    if isinstance(error, MalformedPageError):
+        return "malformed_page"
+    if isinstance(error, HTTPError):
+        return "not_found" if error.status == 404 else "http_error"
+    return "other"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultRates:
+    """Per-request probabilities of each injected failure mode.
+
+    The six rates are independent draws from one uniform variate per
+    request (cumulative thresholds), so their sum must stay at or below
+    one.  ``retry_after`` is the Retry-After an injected 429 carries and
+    ``death_requests`` bounds how many subsequent requests a mid-crawl
+    instance death swallows (when no empirical outage durations are
+    supplied to the injector).
+    """
+
+    timeout: float = 0.0
+    connection_reset: float = 0.0
+    server_error: float = 0.0
+    rate_limit: float = 0.0
+    truncated_page: float = 0.0
+    malformed_page: float = 0.0
+    instance_death: float = 0.0
+    retry_after: float = 0.01
+    death_requests: tuple[int, int] = (2, 6)
+
+    _FAULT_FIELDS = (
+        "timeout",
+        "connection_reset",
+        "server_error",
+        "rate_limit",
+        "truncated_page",
+        "malformed_page",
+        "instance_death",
+    )
+
+    def __post_init__(self) -> None:
+        for name in self._FAULT_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"fault rate {name!r} must be in [0, 1]")
+        if self.total > 1.0:
+            raise ConfigurationError(
+                f"fault rates sum to {self.total:.3f}; at most one fault per request"
+            )
+        if self.retry_after < 0:
+            raise ConfigurationError("retry_after cannot be negative")
+        lo, hi = self.death_requests
+        if lo < 1 or hi < lo:
+            raise ConfigurationError("death_requests must be a (min>=1, max>=min) pair")
+
+    @property
+    def total(self) -> float:
+        """The per-request probability of *any* injected fault."""
+        return float(sum(getattr(self, name) for name in self._FAULT_FIELDS))
+
+    @classmethod
+    def uniform(cls, rate: float, **overrides: object) -> "FaultRates":
+        """Spread a total fault rate evenly across all seven failure modes."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("total fault rate must be in [0, 1]")
+        share = rate / len(cls._FAULT_FIELDS)
+        values: dict[str, object] = {name: share for name in cls._FAULT_FIELDS}
+        values.update(overrides)
+        return cls(**values)  # type: ignore[arg-type]
+
+
+class _DomainFaults:
+    """The per-domain fault stream: one RNG, one request counter."""
+
+    __slots__ = ("rng", "requests", "dead_for")
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.requests = 0
+        self.dead_for = 0
+
+
+class FaultInjector:
+    """Draws seeded, per-domain fault decisions for a chaotic transport.
+
+    Each domain owns an independent ``random.Random`` stream seeded from
+    ``sha256(seed, domain)``, so injections are a pure function of
+    ``(seed, domain, request index)`` — thread scheduling cannot change
+    them.  ``counts`` tallies every injected fault by taxonomy label.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: FaultRates | None = None,
+        death_durations: Sequence[int] | None = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.rates = rates if rates is not None else FaultRates()
+        if death_durations is not None:
+            pool = [int(d) for d in death_durations]
+            if not pool or any(d < 1 for d in pool):
+                raise ConfigurationError(
+                    "death_durations must be a non-empty sequence of positive request counts"
+                )
+            self.death_durations: tuple[int, ...] | None = tuple(pool)
+        else:
+            self.death_durations = None
+        self._lock = threading.Lock()
+        self._domains: dict[str, _DomainFaults] = {}
+        self.counts: dict[str, int] = {}
+
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: "AvailabilitySchedule",
+        seed: int = 0,
+        rates: FaultRates | None = None,
+        requests_per_minute: float = 0.01,
+        max_death_requests: int = 25,
+    ) -> "FaultInjector":
+        """Bootstrap death durations from a scenario's outage empirics.
+
+        Every merged outage interval in the ground-truth
+        :class:`~repro.fediverse.uptime.AvailabilitySchedule` becomes one
+        candidate death duration, converted from minutes to "requests the
+        instance stays dead" via ``requests_per_minute`` and clipped to
+        ``max_death_requests`` so a 15-month abandonment does not stall a
+        retried crawl forever.  Falls back to the configured
+        ``death_requests`` range when the schedule has no outages.
+        """
+        durations = [
+            min(max_death_requests, max(1, round(window.duration * requests_per_minute)))
+            for domain in schedule.domains()
+            for window in schedule.merged_outage_windows(domain)
+        ]
+        return cls(seed=seed, rates=rates, death_durations=durations or None)
+
+    def _state(self, domain: str) -> _DomainFaults:
+        state = self._domains.get(domain)
+        if state is None:
+            digest = hashlib.sha256(f"{self.seed}:{domain}".encode("utf-8")).digest()
+            state = self._domains[domain] = _DomainFaults(
+                random.Random(int.from_bytes(digest[:8], "big"))
+            )
+        return state
+
+    def _count(self, label: str) -> None:
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+    def inject(self, domain: str, url: str) -> None:
+        """Raise the injected fault for this request, if the dice say so."""
+        rates = self.rates
+        with self._lock:
+            state = self._state(domain)
+            state.requests += 1
+            if state.dead_for > 0:
+                state.dead_for -= 1
+                self._count("connection_reset")
+                raise ConnectionLostError(url)
+            if rates.total <= 0.0:
+                return
+            draw = state.rng.random()
+            for name in FaultRates._FAULT_FIELDS:
+                rate = getattr(rates, name)
+                if draw < rate:
+                    self._raise_fault(name, state, url)
+                draw -= rate
+
+    def _raise_fault(self, name: str, state: _DomainFaults, url: str) -> None:
+        if name == "timeout":
+            self._count("timeout")
+            raise RequestTimeoutError(url)
+        if name == "connection_reset":
+            self._count("connection_reset")
+            raise ConnectionLostError(url)
+        if name == "server_error":
+            self._count("server_error")
+            raise ServerError(url, status=state.rng.choice((500, 502, 503)))
+        if name == "rate_limit":
+            self._count("rate_limited")
+            raise RateLimitError(url, retry_after=self.rates.retry_after)
+        if name == "truncated_page":
+            self._count("truncated_page")
+            raise TruncatedPageError(url)
+        if name == "malformed_page":
+            self._count("malformed_page")
+            raise MalformedPageError(url)
+        # instance death: unreachable for the next N requests as well
+        if self.death_durations is not None:
+            duration = state.rng.choice(self.death_durations)
+        else:
+            duration = state.rng.randint(*self.rates.death_requests)
+        state.dead_for = duration - 1
+        self._count("connection_reset")
+        raise ConnectionLostError(url)
+
+    def injected_total(self) -> int:
+        """How many requests were failed by injection so far."""
+        return sum(self.counts.values())
+
+
+class FaultyTransport:
+    """A chaos decorator over a transport: same GET surface, injected faults.
+
+    Wraps any object with the :class:`~repro.crawler.http.SimulatedTransport`
+    interface; requests that survive injection pass straight through, so
+    payloads (and therefore everything built from them) are identical to
+    the fault-free transport's.
+    """
+
+    def __init__(self, inner, injector: FaultInjector) -> None:
+        self._inner = inner
+        self.injector = injector
+
+    @property
+    def network(self):
+        """The simulated fediverse behind the wrapped transport."""
+        return self._inner.network
+
+    @property
+    def stats(self):
+        """The wrapped transport's request counters (injected faults excluded)."""
+        return self._inner.stats
+
+    def known_domains(self) -> list[str]:
+        """Every instance domain the wrapped transport can route to."""
+        return self._inner.known_domains()
+
+    def reset_budget(self, domain: str | None = None) -> None:
+        """Reset the wrapped transport's per-domain request budget."""
+        self._inner.reset_budget(domain)
+
+    def get(self, url: str, at_minute: int | None = None) -> "HTTPResponse":
+        """Perform a GET, first giving the injector a chance to fail it."""
+        self.injector.inject(urlparse(url).netloc, url)
+        return self._inner.get(url, at_minute=at_minute)

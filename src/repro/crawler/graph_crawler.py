@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
-from repro.errors import DatasetError, HTTPError
+from repro.errors import DatasetError
+from repro.crawler.faults import classify_error
 from repro.crawler.http import SimulatedTransport
 from repro.crawler.scheduler import CrawlScheduler, RateLimiter
 
@@ -75,10 +76,46 @@ class GraphCrawlResult:
     accounts_seen: set[str] = field(default_factory=set)
     failures: dict[str, str] = field(default_factory=dict)
     edge_counts: dict[str, int] = field(default_factory=dict)
+    #: Per-domain reachability-probe outcome (``"ok"`` or failure class).
+    probe_outcomes: dict[str, str] = field(default_factory=dict)
+    #: Failure class per failed instance (the taxonomy of ``failures``).
+    failure_classes: dict[str, str] = field(default_factory=dict)
+    #: Instances skipped because a resumed sink already sealed them.
+    resumed: list[str] = field(default_factory=list)
 
     def unique_edges(self) -> set[tuple[str, str]]:
         """Return the de-duplicated set of (follower, followed) pairs."""
         return {(edge.follower, edge.followed) for edge in self.edges}
+
+    def coverage(self) -> "CrawlCoverage":
+        """Fetched-versus-attempted accounting for the follower crawl.
+
+        Same shape as the toot crawl's coverage;
+        ``toots_observed`` counts follower *edges* here.  Record-path
+        crawls (no sink) report edge volume via ``edges`` length.
+        """
+        from repro.crawler.toot_crawler import CrawlCoverage
+
+        failure_counts: dict[str, int] = {}
+        for label in self.failure_classes.values():
+            failure_counts[label] = failure_counts.get(label, 0) + 1
+        blocked = failure_counts.get("blocked", 0)
+        probed_ok = sum(1 for label in self.probe_outcomes.values() if label == "ok")
+        offline = len(self.probe_outcomes) - probed_ok
+        crawled = probed_ok - len(self.failures) + len(self.resumed)
+        observed = (
+            sum(self.edge_counts.values()) if self.edge_counts else len(self.edges)
+        )
+        return CrawlCoverage(
+            instances_attempted=len(self.probe_outcomes) + len(self.resumed),
+            instances_crawled=crawled,
+            instances_resumed=len(self.resumed),
+            instances_offline=offline,
+            instances_blocked=blocked,
+            instances_failed=len(self.failures) - blocked,
+            toots_observed=observed,
+            failure_classes=failure_counts,
+        )
 
 
 class FollowerGraphCrawler:
@@ -178,23 +215,37 @@ class FollowerGraphCrawler:
         accumulating as :class:`FollowEdgeRecord` lists; instances whose
         crawl fails midway are discarded from the sink, mirroring how a
         failed instance contributes nothing to the record path either.
-        The caller finalises the sink once the crawl returns.
+        A sink opened with ``resume=True`` reports its journal-sealed
+        instances, which are skipped without a single request.  The
+        caller finalises the sink once the crawl returns.
         """
         network = self._transport.network
         if at_minute is None:
             at_minute = network.clock.window_minutes - 1
         if domains is None:
             domains = self._transport.known_domains()
-
-        reachable: list[str] = []
-        for domain in sorted(set(domains)):
-            try:
-                self._transport.get(f"https://{domain}/api/v1/instance", at_minute=at_minute)
-            except HTTPError:
-                continue
-            reachable.append(domain)
+        domains = sorted(set(domains))
 
         result = GraphCrawlResult(crawl_minute=at_minute)
+        already_sealed: set[str] = set()
+        if sink is not None and hasattr(sink, "sealed_domains"):
+            already_sealed = set(sink.sealed_domains())
+        result.resumed = [domain for domain in domains if domain in already_sealed]
+        to_probe = [domain for domain in domains if domain not in already_sealed]
+
+        def probe(domain: str) -> str:
+            self._transport.get(
+                f"https://{domain}/api/v1/instance", at_minute=at_minute
+            )
+            return "ok"
+
+        probe_report = self._scheduler.run(to_probe, probe)
+        result.probe_outcomes = {
+            outcome.key: "ok" if outcome.ok else classify_error(outcome.error)
+            for outcome in probe_report.outcomes
+        }
+        reachable = [d for d in to_probe if result.probe_outcomes[d] == "ok"]
+
         if sink is None:
             worker = lambda domain: self.crawl_instance(domain, at_minute)  # noqa: E731
         else:
@@ -214,4 +265,10 @@ class FollowerGraphCrawler:
                 if sink is not None:
                     sink.discard_instance(outcome.key)
                 result.failures[outcome.key] = str(outcome.error)
+                result.failure_classes[outcome.key] = classify_error(outcome.error)
+        resumed_rows: dict[str, int] = {}
+        if result.resumed and hasattr(sink, "resumed_rows"):
+            resumed_rows = sink.resumed_rows()
+        for domain in result.resumed:
+            result.edge_counts[domain] = int(resumed_rows.get(domain, 0))
         return result

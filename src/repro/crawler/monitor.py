@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.errors import ConfigurationError, HTTPError
+from repro.errors import ConfigurationError, HTTPError, TransientCrawlError
 from repro.crawler.http import SimulatedTransport
 from repro.simtime import DEFAULT_PROBE_INTERVAL_MINUTES, MINUTES_PER_DAY
 
@@ -89,7 +89,13 @@ class InstanceMonitor:
         self.interval_minutes = interval_minutes
 
     def probe(self, domain: str, minute: int) -> InstanceSnapshot:
-        """Probe a single instance once."""
+        """Probe a single instance once.
+
+        Any failed request — a deterministic HTTP failure or a transient
+        network error that survived whatever retry layer wraps the
+        transport — records the instance as unreachable at this minute,
+        exactly as a live uptime monitor would.
+        """
         url = f"https://{domain}/api/v1/instance"
         try:
             response = self._transport.get(url, at_minute=minute)
@@ -100,6 +106,8 @@ class InstanceMonitor:
                 online=False,
                 exists=error.status != 404,
             )
+        except TransientCrawlError:
+            return InstanceSnapshot(domain=domain, minute=minute, online=False)
         payload = response.payload
         stats = payload.get("stats", {})
         return InstanceSnapshot(

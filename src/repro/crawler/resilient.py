@@ -1,0 +1,327 @@
+"""Retries, backoff, and circuit breaking for the crawl path.
+
+:class:`ResilientTransport` is the composition every crawler routes
+through when resilience is enabled: a :class:`RetryPolicy` (exponential
+backoff with full jitter, Retry-After honouring, per-domain retry
+budgets, an optional per-request deadline) wrapped around a per-instance
+three-state :class:`CircuitBreaker`.
+
+Two invariants keep the differential suite honest:
+
+* Only *transient* failures are retried or counted against a breaker —
+  :class:`~repro.errors.TransientCrawlError` subclasses,
+  :class:`~repro.errors.ServerError`, and
+  :class:`~repro.errors.RateLimitError`.  Deterministic outcomes of the
+  simulation (genuinely offline instances, crawl blocks, 404s) pass
+  straight through, so a resilient crawl observes exactly the same
+  ground truth as a plain one.
+* Sleeps are injectable (``sleep=``/``clock=``): tests and benchmarks
+  run the full retry machinery with a no-op sleep and a fake clock, so
+  backoff schedules are asserted without wall-clock time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+from urllib.parse import urlparse
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    RateLimitError,
+    RequestTimeoutError,
+    ServerError,
+    TransientCrawlError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crawler.http import HTTPResponse
+
+#: Exception types the retry layer will re-issue a request for.
+RETRYABLE_ERRORS = (TransientCrawlError, ServerError, RateLimitError)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether re-issuing the failed request could plausibly succeed."""
+    return isinstance(error, RETRYABLE_ERRORS)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How hard to try before giving an instance up for this request.
+
+    ``max_attempts`` counts the first try; backoff between attempts is
+    full-jitter exponential (``uniform(0, min(max_delay, base_delay *
+    2**n))``), except after a 429, where the server-provided
+    ``retry_after`` (capped at ``max_delay``) is honoured instead.
+    ``domain_budget`` bounds the *total* retries spent on one domain
+    across the whole crawl; ``deadline`` bounds the wall-clock spent
+    inside a single resilient request, including backoff sleeps.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    deadline: float | None = None
+    domain_budget: int | None = None
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays cannot be negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive when set")
+        if self.domain_budget is not None and self.domain_budget < 0:
+            raise ConfigurationError("domain_budget cannot be negative")
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter backoff before retry number ``attempt`` (1-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return rng.uniform(0.0, ceiling)
+
+
+class CircuitBreaker:
+    """A three-state (closed / open / half-open) per-domain breaker.
+
+    ``failure_threshold`` consecutive transient failures open the
+    circuit; while open, requests fail fast with
+    :class:`~repro.errors.CircuitOpenError` until ``reset_timeout``
+    elapses, after which a single half-open probe is admitted.  A probe
+    success closes the circuit, a probe failure re-opens it.  Only
+    transient failures (see :func:`is_retryable`) count — deterministic
+    simulation outcomes never trip a breaker.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be at least 1")
+        if reset_timeout <= 0:
+            raise ConfigurationError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: dict[str, str] = {}
+        self._failures: dict[str, int] = {}
+        self._opened_at: dict[str, float] = {}
+        self.trips = 0
+
+    def state(self, domain: str) -> str:
+        """The breaker state for ``domain`` (open circuits may lapse to half-open)."""
+        with self._lock:
+            return self._observe(domain)
+
+    def _observe(self, domain: str) -> str:
+        state = self._states.get(domain, self.CLOSED)
+        if state == self.OPEN and (
+            self._clock() - self._opened_at[domain] >= self.reset_timeout
+        ):
+            state = self._states[domain] = self.HALF_OPEN
+        return state
+
+    def before_request(self, domain: str, url: str) -> None:
+        """Gate a request: raise :class:`CircuitOpenError` while open."""
+        with self._lock:
+            state = self._observe(domain)
+            if state == self.OPEN:
+                remaining = self.reset_timeout - (
+                    self._clock() - self._opened_at[domain]
+                )
+                raise CircuitOpenError(url, retry_after=max(0.0, remaining))
+
+    def record_success(self, domain: str) -> None:
+        """A request went through: close the circuit, clear the streak."""
+        with self._lock:
+            self._states[domain] = self.CLOSED
+            self._failures[domain] = 0
+
+    def record_failure(self, domain: str, error: BaseException) -> None:
+        """A request failed; transient failures advance toward a trip."""
+        if not is_retryable(error):
+            return
+        with self._lock:
+            state = self._observe(domain)
+            failures = self._failures.get(domain, 0) + 1
+            self._failures[domain] = failures
+            if state == self.HALF_OPEN or failures >= self.failure_threshold:
+                self._states[domain] = self.OPEN
+                self._opened_at[domain] = self._clock()
+                self._failures[domain] = 0
+                self.trips += 1
+
+
+@dataclass(slots=True)
+class ResilienceStats:
+    """Tallies of what the retry layer did on the crawl's behalf."""
+
+    attempts: int = 0
+    retries: int = 0
+    recovered: int = 0
+    exhausted: int = 0
+    budget_denied: int = 0
+    deadline_expired: int = 0
+    slept: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The stats as a plain JSON-ready mapping."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "exhausted": self.exhausted,
+            "budget_denied": self.budget_denied,
+            "deadline_expired": self.deadline_expired,
+            "slept": round(self.slept, 6),
+        }
+
+
+class ResilientTransport:
+    """Retry + circuit-breaker composition over any transport.
+
+    Mirrors the :class:`~repro.crawler.http.SimulatedTransport` surface
+    so crawlers cannot tell the difference.  A request is retried on
+    transient failures until the policy's attempt count, per-domain
+    budget, or deadline runs out; after a 429 wait the inner transport's
+    per-domain request budget is reset, modelling the rate-limit window
+    rolling over during the sleep.
+    """
+
+    def __init__(
+        self,
+        inner,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep: Callable[[float], None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = breaker
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self._budget_spent: dict[str, int] = {}
+        self.resilience = ResilienceStats()
+
+    @property
+    def network(self):
+        """The simulated fediverse behind the wrapped transport."""
+        return self._inner.network
+
+    @property
+    def stats(self):
+        """The wrapped transport's request counters."""
+        return self._inner.stats
+
+    def known_domains(self) -> list[str]:
+        """Every instance domain the wrapped transport can route to."""
+        return self._inner.known_domains()
+
+    def reset_budget(self, domain: str | None = None) -> None:
+        """Reset the wrapped transport's per-domain request budget."""
+        self._inner.reset_budget(domain)
+
+    def _rng(self, domain: str) -> random.Random:
+        rng = self._rngs.get(domain)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self.policy.jitter_seed}:{domain}".encode("utf-8")
+            ).digest()
+            rng = self._rngs[domain] = random.Random(
+                int.from_bytes(digest[:8], "big")
+            )
+        return rng
+
+    def _spend_retry(self, domain: str) -> bool:
+        budget = self.policy.domain_budget
+        if budget is None:
+            return True
+        with self._lock:
+            spent = self._budget_spent.get(domain, 0)
+            if spent >= budget:
+                return False
+            self._budget_spent[domain] = spent + 1
+            return True
+
+    def _pause(self, delay: float) -> None:
+        if delay > 0:
+            self.resilience.slept += delay
+            self._sleep(delay)
+
+    def get(self, url: str, at_minute: int | None = None) -> "HTTPResponse":
+        """GET with retries; deterministic failures propagate untouched."""
+        # the domain and the start time are only consulted by the
+        # breaker, the backoff machinery, and the deadline check — defer
+        # both so the no-failure fast path stays within a few percent of
+        # the bare transport
+        breaker = self.breaker
+        domain = urlparse(url).netloc if breaker is not None else None
+        started = self._clock() if self.policy.deadline is not None else 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            self.resilience.attempts += 1
+            if breaker is not None:
+                breaker.before_request(domain, url)
+            try:
+                response = self._inner.get(url, at_minute=at_minute)
+            except RETRYABLE_ERRORS as error:
+                if domain is None:
+                    domain = urlparse(url).netloc
+                if breaker is not None:
+                    breaker.record_failure(domain, error)
+                self._handle_failure(domain, url, attempt, started, error)
+                continue
+            if breaker is not None:
+                breaker.record_success(domain)
+            if attempt > 1:
+                self.resilience.recovered += 1
+            return response
+
+    def _handle_failure(
+        self,
+        domain: str,
+        url: str,
+        attempt: int,
+        started: float,
+        error: BaseException,
+    ) -> None:
+        """Decide whether to retry after ``error``; re-raise it if not."""
+        policy = self.policy
+        if attempt >= policy.max_attempts:
+            self.resilience.exhausted += 1
+            raise error
+        if not self._spend_retry(domain):
+            self.resilience.budget_denied += 1
+            raise error
+        if isinstance(error, RateLimitError):
+            delay = min(policy.max_delay, max(0.0, error.retry_after))
+        else:
+            delay = policy.backoff_delay(attempt, self._rng(domain))
+        if policy.deadline is not None:
+            elapsed = self._clock() - started
+            if elapsed + delay > policy.deadline:
+                self.resilience.deadline_expired += 1
+                raise RequestTimeoutError(url) from error
+        self._pause(delay)
+        if isinstance(error, RateLimitError):
+            # the rate-limit window rolled over while we slept
+            self._inner.reset_budget(domain)
+        self.resilience.retries += 1

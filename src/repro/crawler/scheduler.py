@@ -86,6 +86,22 @@ class CrawlReport:
         """Return the error raised for each failed unit of work."""
         return {outcome.key: outcome.error for outcome in self.outcomes if outcome.error is not None}
 
+    def failure_taxonomy(self) -> dict[str, int]:
+        """Count failed outcomes by failure class (see :func:`classify_error`).
+
+        Keys are the taxonomy labels of
+        :data:`repro.crawler.faults.FAILURE_CLASSES`; only classes that
+        occurred appear, so a clean crawl returns ``{}``.
+        """
+        from repro.crawler.faults import classify_error
+
+        taxonomy: dict[str, int] = {}
+        for outcome in self.outcomes:
+            if outcome.error is not None:
+                label = classify_error(outcome.error)
+                taxonomy[label] = taxonomy.get(label, 0) + 1
+        return taxonomy
+
 
 class CrawlScheduler:
     """Runs a crawl function over many keys with a bounded worker pool."""
@@ -105,8 +121,9 @@ class CrawlScheduler:
 
         With ``swallow_errors=True`` (the default, matching crawler
         behaviour) failures are recorded per key instead of propagating;
-        with ``False`` the first failure is re-raised as a
-        :class:`~repro.errors.CrawlError`.
+        with ``False`` the first failure cancels every outstanding
+        future before re-raising as a :class:`~repro.errors.CrawlError`,
+        so no further instances are crawled behind the error.
         """
         keys = list(keys)
         report = CrawlReport()
@@ -121,6 +138,8 @@ class CrawlScheduler:
                     report.outcomes.append(CrawlOutcome(key=key, result=future.result()))
                 except Exception as exc:  # noqa: BLE001 - crawler boundary
                     if not swallow_errors:
+                        for outstanding in futures:
+                            outstanding.cancel()
                         raise CrawlError(f"crawling {key!r} failed: {exc}") from exc
                     report.outcomes.append(CrawlOutcome(key=key, error=exc))
         report.outcomes.sort(key=lambda outcome: outcome.key)

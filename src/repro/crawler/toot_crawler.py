@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
-from repro.errors import CrawlBlockedError, HTTPError
+from repro.errors import CrawlBlockedError
+from repro.crawler.faults import classify_error
 from repro.crawler.http import SimulatedTransport
 from repro.crawler.scheduler import CrawlReport, CrawlScheduler, RateLimiter
 from repro.fediverse.timeline import DEFAULT_PAGE_SIZE
@@ -65,6 +66,60 @@ class TootRecord:
         )
 
 
+@dataclass(frozen=True)
+class CrawlCoverage:
+    """Fetched-versus-attempted accounting for one crawl.
+
+    ``instances_offline``/``instances_blocked`` are deterministic ground
+    truth (the instance really was down or really blocks crawling);
+    ``instances_failed`` is the coverage loss — instances the crawl
+    *should* have collected but gave up on, broken down by failure class
+    in ``failure_classes``.  A crawl is :attr:`complete` when nothing
+    was lost that way, regardless of how much chaos the retry layer had
+    to absorb along the way.
+    """
+
+    instances_attempted: int
+    instances_crawled: int
+    instances_resumed: int
+    instances_offline: int
+    instances_blocked: int
+    instances_failed: int
+    toots_observed: int
+    failure_classes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def instances_eligible(self) -> int:
+        """Instances that were reachable and crawlable at crawl time."""
+        return self.instances_attempted - self.instances_offline - self.instances_blocked
+
+    @property
+    def fraction(self) -> float:
+        """Crawled share of eligible instances (1.0 when nothing was eligible)."""
+        eligible = self.instances_eligible
+        return 1.0 if eligible <= 0 else self.instances_crawled / eligible
+
+    @property
+    def complete(self) -> bool:
+        """Whether every eligible instance made it into the corpus."""
+        return self.instances_failed == 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping (what gets stamped into manifests/metadata)."""
+        return {
+            "instances_attempted": self.instances_attempted,
+            "instances_crawled": self.instances_crawled,
+            "instances_resumed": self.instances_resumed,
+            "instances_offline": self.instances_offline,
+            "instances_blocked": self.instances_blocked,
+            "instances_failed": self.instances_failed,
+            "toots_observed": self.toots_observed,
+            "failure_classes": dict(sorted(self.failure_classes.items())),
+            "coverage_fraction": round(self.fraction, 6),
+            "complete": self.complete,
+        }
+
+
 @dataclass
 class TootCrawlResult:
     """The outcome of a full toot crawl."""
@@ -78,6 +133,14 @@ class TootCrawlResult:
     #: sink=...)``) this is the only per-instance volume record: the
     #: records themselves stream into the corpus writer instead.
     toot_counts: dict[str, int] = field(default_factory=dict)
+    #: Per-domain reachability-probe outcome: ``"ok"`` or a failure
+    #: class from :data:`repro.crawler.faults.FAILURE_CLASSES`.
+    probe_outcomes: dict[str, str] = field(default_factory=dict)
+    #: Failure class per failed instance (the taxonomy of ``failures``).
+    failure_classes: dict[str, str] = field(default_factory=dict)
+    #: Instances skipped because a resumed sink already held their
+    #: sealed spools — counted as crawled, never re-fetched.
+    resumed: list[str] = field(default_factory=list)
 
     def iter_records(self) -> Iterator[TootRecord]:
         """Yield every collected record without building one giant list.
@@ -109,6 +172,28 @@ class TootCrawlResult:
     def crawled_instances(self) -> list[str]:
         """Instances that were successfully crawled."""
         return sorted(self.records_by_instance)
+
+    def coverage(self) -> CrawlCoverage:
+        """Fold this result into fetched-versus-attempted accounting."""
+        failure_counts: dict[str, int] = {}
+        for label in self.failure_classes.values():
+            failure_counts[label] = failure_counts.get(label, 0) + 1
+        attempted = (
+            len(self.toot_counts)
+            + len(self.skipped_offline)
+            + len(self.skipped_blocked)
+            + len(self.failures)
+        )
+        return CrawlCoverage(
+            instances_attempted=attempted,
+            instances_crawled=len(self.toot_counts),
+            instances_resumed=len(self.resumed),
+            instances_offline=len(self.skipped_offline),
+            instances_blocked=len(self.skipped_blocked),
+            instances_failed=len(self.failures),
+            toots_observed=sum(self.toot_counts.values()),
+            failure_classes=failure_counts,
+        )
 
 
 class TootCrawler:
@@ -184,16 +269,31 @@ class TootCrawler:
 
     # -- full crawl -------------------------------------------------------------
 
+    def probe_domains(self, domains: Iterable[str], at_minute: int) -> dict[str, str]:
+        """Probe every instance API through the worker pool.
+
+        Returns domain → ``"ok"`` or a failure class from
+        :data:`repro.crawler.faults.FAILURE_CLASSES`, so the coverage
+        report can tell a genuinely offline instance from a blocked or
+        erroring one instead of discarding the error class.
+        """
+
+        def probe(domain: str) -> str:
+            self._transport.get(
+                f"https://{domain}/api/v1/instance", at_minute=at_minute
+            )
+            return "ok"
+
+        report = self._scheduler.run(sorted(set(domains)), probe)
+        return {
+            outcome.key: "ok" if outcome.ok else classify_error(outcome.error)
+            for outcome in report.outcomes
+        }
+
     def live_domains(self, domains: Iterable[str], at_minute: int) -> list[str]:
         """Filter ``domains`` to those whose instance API answers at ``at_minute``."""
-        live: list[str] = []
-        for domain in sorted(set(domains)):
-            try:
-                self._transport.get(f"https://{domain}/api/v1/instance", at_minute=at_minute)
-            except HTTPError:
-                continue
-            live.append(domain)
-        return live
+        outcomes = self.probe_domains(domains, at_minute)
+        return [domain for domain in sorted(outcomes) if outcomes[domain] == "ok"]
 
     def crawl(
         self,
@@ -211,18 +311,29 @@ class TootCrawler:
         pages stream into the columnar corpus as they are crawled and
         ``records_by_instance`` stays empty — only per-instance counts
         are kept.  Instances that fail mid-crawl are discarded from the
-        sink, mirroring how the record path drops their lists.  The
-        caller finalises the sink once the crawl returns.
+        sink, mirroring how the record path drops their lists.  A sink
+        opened with ``resume=True`` reports its journal-sealed instances
+        via ``sealed_domains()``; those are counted as crawled without a
+        single request.  The caller finalises the sink once the crawl
+        returns.
         """
         network = self._transport.network
         if at_minute is None:
             at_minute = network.clock.window_minutes - 1
         if domains is None:
             domains = self._transport.known_domains()
+        domains = sorted(set(domains))
 
         result = TootCrawlResult(crawl_minute=at_minute)
-        live = self.live_domains(domains, at_minute)
-        result.skipped_offline = sorted(set(domains) - set(live))
+        already_sealed: set[str] = set()
+        if sink is not None and hasattr(sink, "sealed_domains"):
+            already_sealed = set(sink.sealed_domains())
+        result.resumed = [domain for domain in domains if domain in already_sealed]
+        to_probe = [domain for domain in domains if domain not in already_sealed]
+
+        result.probe_outcomes = self.probe_domains(to_probe, at_minute)
+        live = [d for d in to_probe if result.probe_outcomes[d] == "ok"]
+        result.skipped_offline = sorted(set(to_probe) - set(live))
 
         if sink is None:
             worker = lambda domain: self.crawl_instance(domain, at_minute)  # noqa: E731
@@ -239,6 +350,7 @@ class TootCrawler:
                     result.skipped_blocked.append(outcome.key)
                 else:
                     result.failures[outcome.key] = str(outcome.error)
+                    result.failure_classes[outcome.key] = classify_error(outcome.error)
                 continue
             if sink is None:
                 result.records_by_instance[outcome.key] = outcome.result  # type: ignore[assignment]
@@ -246,5 +358,11 @@ class TootCrawler:
             else:
                 result.records_by_instance[outcome.key] = []
                 result.toot_counts[outcome.key] = int(outcome.result)  # type: ignore[call-overload]
+        resumed_rows: dict[str, int] = {}
+        if result.resumed and hasattr(sink, "resumed_rows"):
+            resumed_rows = sink.resumed_rows()
+        for domain in result.resumed:
+            result.records_by_instance.setdefault(domain, [])
+            result.toot_counts[domain] = int(resumed_rows.get(domain, 0))
         result.skipped_blocked.sort()
         return result

@@ -48,6 +48,49 @@ class CrawlError(ReproError):
     """Base class for crawler failures."""
 
 
+class TransientCrawlError(CrawlError):
+    """A failure that may not recur: re-issuing the request can succeed.
+
+    The retry layer (:mod:`repro.crawler.resilient`) treats every
+    subclass as retryable; deterministic failures (crawl blocks, unknown
+    resources, genuinely offline instances) deliberately do *not* derive
+    from this class.
+    """
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"{reason} for {url}")
+        self.url = url
+        self.reason = reason
+
+
+class RequestTimeoutError(TransientCrawlError):
+    """The request did not complete within the client timeout."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, "request timed out")
+
+
+class ConnectionLostError(TransientCrawlError):
+    """The connection was reset (or refused) mid-request."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, "connection reset by peer")
+
+
+class TruncatedPageError(TransientCrawlError):
+    """The response body ended early (half-closed socket, cut transfer)."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, "truncated response body")
+
+
+class MalformedPageError(TransientCrawlError):
+    """The response body did not parse (corrupt JSON, wrong content)."""
+
+    def __init__(self, url: str) -> None:
+        super().__init__(url, "malformed response body")
+
+
 class HTTPError(CrawlError):
     """A simulated HTTP request failed with a non-success status code."""
 
@@ -80,6 +123,27 @@ class RateLimitError(HTTPError):
 
     def __init__(self, url: str, retry_after: float) -> None:
         super().__init__(url, 429, f"rate limited, retry after {retry_after:.1f}s")
+        self.retry_after = retry_after
+
+
+class ServerError(HTTPError):
+    """The instance answered with a 5xx — a server-side, retryable failure."""
+
+    def __init__(self, url: str, status: int = 500, reason: str = "internal server error") -> None:
+        super().__init__(url, status, reason)
+
+
+class CircuitOpenError(HTTPError):
+    """The per-instance circuit breaker refused the request without sending it.
+
+    Subclasses :class:`HTTPError` (status 503) so every existing
+    ``except HTTPError`` crawl boundary treats a tripped breaker like an
+    unreachable instance; ``retry_after`` tells the retry layer how long
+    until the breaker will allow a probe.
+    """
+
+    def __init__(self, url: str, retry_after: float) -> None:
+        super().__init__(url, 503, f"circuit open, retry after {retry_after:.2f}s")
         self.retry_after = retry_after
 
 

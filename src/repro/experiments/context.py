@@ -22,7 +22,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, Mapping, Sequence, TypeVar
 
-from repro import CollectedDatasets, build_scenario, collect_datasets
+from repro import CollectedDatasets, RetryPolicy, build_scenario, collect_datasets
 from repro.core import resilience
 from repro.errors import AnalysisError
 from repro.core.replication import AvailabilityPoint, PlacementMap
@@ -73,6 +73,9 @@ class ExperimentContext:
         graph_shard_size: int | None = None,
         churn_ticks: int = CHURN_TICKS,
         churn_seeds: Sequence[int] = CHURN_SEEDS,
+        fault_rate: float | None = None,
+        fault_seed: int = 0,
+        retries: "int | RetryPolicy | None" = None,
     ) -> None:
         self.preset = preset
         self.seed = seed
@@ -100,6 +103,13 @@ class ExperimentContext:
         #: one sampled outage process per bootstrap seed.
         self.churn_ticks = churn_ticks
         self.churn_seeds = tuple(churn_seeds)
+        #: Resilience knobs forwarded to ``collect_datasets``: a seeded
+        #: chaos layer over the transport (``fault_rate``/``fault_seed``)
+        #: and a retry budget (``retries`` = max attempts per request,
+        #: or a full :class:`~repro.crawler.resilient.RetryPolicy`).
+        self.fault_rate = fault_rate
+        self.fault_seed = fault_seed
+        self.retries = retries
         #: How many times each expensive builder actually ran.
         self.counters: dict[str, int] = {
             "build_scenario": 0,
@@ -170,6 +180,9 @@ class ExperimentContext:
                 corpus_shard_size=self.corpus_shard_size,
                 graph_dir=self.graph_dir,
                 graph_shard_size=self.graph_shard_size,
+                fault_rates=self.fault_rate,
+                fault_seed=self.fault_seed,
+                retry_policy=self.retries,
             )
             self.counters["collect_datasets"] += 1
         return self._data
@@ -477,4 +490,23 @@ class ExperimentContext:
             metadata["churn_ticks"] = self.churn_ticks
         if self.churn_seeds != CHURN_SEEDS:
             metadata["churn_seeds"] = ",".join(str(seed) for seed in self.churn_seeds)
+        # resilience knobs likewise only when set, and crawl coverage only
+        # when the pipeline ran AND the crawl was partial — a complete
+        # crawl carries no caveat worth stamping into every result
+        if self.fault_rate is not None:
+            metadata["fault_rate"] = self.fault_rate
+            metadata["fault_seed"] = self.fault_seed
+        if self.retries is not None:
+            metadata["retries"] = (
+                self.retries
+                if isinstance(self.retries, int)
+                else self.retries.max_attempts
+            )
+        if self._data is not None and self._data.coverage is not None:
+            coverage = self._data.coverage
+            if not coverage.get("complete", True):
+                metadata["crawl_coverage"] = coverage["coverage_fraction"]
+                metadata["crawl_failures"] = sum(
+                    coverage.get("failure_classes", {}).values()
+                )
         return metadata

@@ -1,0 +1,190 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ConnectionLostError,
+    CrawlBlockedError,
+    HTTPError,
+    InstanceUnavailableError,
+    MalformedPageError,
+    RateLimitError,
+    RequestTimeoutError,
+    ServerError,
+    TransientCrawlError,
+    TruncatedPageError,
+)
+from repro.crawler import SimulatedTransport
+from repro.crawler.faults import (
+    FAILURE_CLASSES,
+    FaultInjector,
+    FaultRates,
+    FaultyTransport,
+    classify_error,
+)
+
+
+def fault_plan(injector: FaultInjector, domain: str, requests: int) -> list[str | None]:
+    """The first ``requests`` outcomes one domain's fault stream produces."""
+    plan: list[str | None] = []
+    for index in range(requests):
+        try:
+            injector.inject(domain, f"https://{domain}/page/{index}")
+        except Exception as error:  # noqa: BLE001 - recording every fault kind
+            plan.append(type(error).__name__)
+        else:
+            plan.append(None)
+    return plan
+
+
+class TestClassifyError:
+    def test_taxonomy_covers_every_crawl_error(self):
+        url = "https://a.example/x"
+        cases = {
+            InstanceUnavailableError(url): "offline",
+            CrawlBlockedError(url): "blocked",
+            HTTPError(url, status=404): "not_found",
+            RateLimitError(url, retry_after=1.0): "rate_limited",
+            RequestTimeoutError(url): "timeout",
+            ConnectionLostError(url): "connection_reset",
+            ServerError(url, status=502): "server_error",
+            TruncatedPageError(url): "truncated_page",
+            MalformedPageError(url): "malformed_page",
+            CircuitOpenError(url, retry_after=2.0): "circuit_open",
+            HTTPError(url, status=418): "http_error",
+            ValueError("boom"): "other",
+        }
+        for error, expected in cases.items():
+            assert classify_error(error) == expected
+            assert expected in FAILURE_CLASSES
+
+    def test_specific_classes_win_over_http_error(self):
+        # every specific case subclasses HTTPError but must not fall
+        # through to the generic bucket
+        url = "https://a.example/x"
+        assert classify_error(InstanceUnavailableError(url)) != "http_error"
+        assert classify_error(RateLimitError(url, retry_after=0.1)) != "http_error"
+
+
+class TestFaultRates:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            FaultRates(timeout=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultRates(timeout=1.5)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultRates(timeout=0.6, server_error=0.6)
+
+    def test_uniform_splits_total_across_modes(self):
+        rates = FaultRates.uniform(0.35)
+        assert rates.total == pytest.approx(0.35)
+        assert rates.timeout == pytest.approx(0.05)
+        assert rates.instance_death == pytest.approx(0.05)
+
+    def test_uniform_accepts_overrides(self):
+        rates = FaultRates.uniform(0.07, retry_after=1.5)
+        assert rates.retry_after == 1.5
+
+    def test_death_requests_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultRates(death_requests=(0, 3))
+        with pytest.raises(ConfigurationError):
+            FaultRates(death_requests=(5, 2))
+
+
+class TestFaultInjector:
+    def test_same_seed_same_plan(self):
+        rates = FaultRates.uniform(0.4)
+        first = FaultInjector(seed=3, rates=rates)
+        second = FaultInjector(seed=3, rates=rates)
+        for domain in ("a.example", "b.example"):
+            assert fault_plan(first, domain, 200) == fault_plan(second, domain, 200)
+
+    def test_different_seeds_diverge(self):
+        rates = FaultRates.uniform(0.4)
+        first = FaultInjector(seed=0, rates=rates)
+        second = FaultInjector(seed=1, rates=rates)
+        assert fault_plan(first, "a.example", 200) != fault_plan(second, "a.example", 200)
+
+    def test_plan_independent_of_other_domains(self):
+        # interleaving requests to other domains must not perturb a
+        # domain's stream — the property that makes threaded crawls
+        # deterministic
+        rates = FaultRates.uniform(0.4)
+        alone = FaultInjector(seed=5, rates=rates)
+        expected = fault_plan(alone, "a.example", 100)
+        interleaved = FaultInjector(seed=5, rates=rates)
+        observed: list[str | None] = []
+        for index in range(100):
+            fault_plan(interleaved, "noise.example", 3)
+            observed.extend(fault_plan(interleaved, "a.example", 1))
+        assert observed == expected
+
+    def test_zero_rates_inject_nothing(self):
+        injector = FaultInjector(seed=0)
+        assert fault_plan(injector, "a.example", 50) == [None] * 50
+        assert injector.injected_total() == 0
+
+    def test_instance_death_swallows_consecutive_requests(self):
+        rates = FaultRates(instance_death=1.0, death_requests=(3, 3))
+        injector = FaultInjector(seed=0, rates=rates)
+        plan = fault_plan(injector, "a.example", 3)
+        assert plan == ["ConnectionLostError"] * 3
+
+    def test_counts_tally_by_taxonomy_label(self):
+        rates = FaultRates(timeout=0.5, rate_limit=0.5)
+        injector = FaultInjector(seed=0, rates=rates)
+        fault_plan(injector, "a.example", 100)
+        assert set(injector.counts) <= {"timeout", "rate_limited"}
+        assert injector.injected_total() == 100
+
+    def test_death_durations_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(death_durations=[])
+        with pytest.raises(ConfigurationError):
+            FaultInjector(death_durations=[0])
+
+    def test_from_schedule_uses_outage_empirics(self, tiny_network):
+        injector = FaultInjector.from_schedule(
+            tiny_network.availability,
+            seed=2,
+            rates=FaultRates(instance_death=1.0),
+            max_death_requests=7,
+        )
+        if injector.death_durations is not None:
+            assert all(1 <= d <= 7 for d in injector.death_durations)
+
+
+class TestFaultyTransport:
+    def test_mirrors_transport_surface(self, tiny_network):
+        inner = SimulatedTransport(tiny_network)
+        transport = FaultyTransport(inner, FaultInjector(seed=0))
+        assert transport.network is tiny_network
+        assert transport.known_domains() == inner.known_domains()
+        assert transport.stats is inner.stats
+
+    def test_surviving_requests_pass_through_unchanged(self, tiny_network):
+        domain = SimulatedTransport(tiny_network).known_domains()[0]
+        url = f"https://{domain}/api/v1/instance"
+        minute = tiny_network.clock.window_minutes - 1
+
+        plain = SimulatedTransport(tiny_network).get(url, at_minute=minute)
+        faulty = FaultyTransport(
+            SimulatedTransport(tiny_network), FaultInjector(seed=0)
+        )
+        assert faulty.get(url, at_minute=minute).payload == plain.payload
+
+    def test_injected_faults_raise_transient_errors(self, tiny_network):
+        transport = FaultyTransport(
+            SimulatedTransport(tiny_network),
+            FaultInjector(seed=0, rates=FaultRates(timeout=1.0)),
+        )
+        domain = transport.known_domains()[0]
+        with pytest.raises(TransientCrawlError):
+            transport.get(f"https://{domain}/api/v1/instance", at_minute=0)

@@ -39,6 +39,20 @@ class TestProbe:
         assert snapshot.exists  # 503, not 404
         assert snapshot.user_count == 0
 
+    def test_transient_failure_recorded_as_unreachable(self, network):
+        # an injected fault that escapes the retry layer must become a
+        # "down at this minute" snapshot, not a monitor crash
+        from repro.crawler.faults import FaultInjector, FaultRates, FaultyTransport
+
+        transport = FaultyTransport(
+            SimulatedTransport(network),
+            FaultInjector(seed=0, rates=FaultRates(timeout=1.0)),
+        )
+        monitor = InstanceMonitor(transport, network.domains())
+        snapshot = monitor.probe("alpha.example", minute=100)
+        assert not snapshot.online
+        assert snapshot.exists
+
     def test_nonexistent_instance_probe(self, network):
         network.add_instance(InstanceDescriptor(domain="late.example", created_at=MINUTES_PER_DAY))
         monitor = InstanceMonitor(SimulatedTransport(network), ["late.example"])

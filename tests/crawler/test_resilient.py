@@ -1,0 +1,290 @@
+"""Tests for the retry / circuit-breaker transport composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ConnectionLostError,
+    CrawlBlockedError,
+    InstanceUnavailableError,
+    RateLimitError,
+    RequestTimeoutError,
+    ServerError,
+)
+from repro.crawler.resilient import (
+    CircuitBreaker,
+    ResilientTransport,
+    RetryPolicy,
+    is_retryable,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class ScriptedTransport:
+    """A transport whose responses are scripted per URL.
+
+    The script for a URL is a list consumed left to right: exceptions
+    are raised, anything else is returned.  Unscripted URLs succeed.
+    """
+
+    def __init__(self, scripts: dict[str, list[object]] | None = None) -> None:
+        self.scripts = scripts or {}
+        self.calls: list[str] = []
+        self.budget_resets: list[str | None] = []
+
+    @property
+    def network(self):  # pragma: no cover - surface parity only
+        return None
+
+    @property
+    def stats(self):  # pragma: no cover - surface parity only
+        return {}
+
+    def known_domains(self) -> list[str]:
+        return []
+
+    def reset_budget(self, domain: str | None = None) -> None:
+        self.budget_resets.append(domain)
+
+    def get(self, url: str, at_minute: int | None = None) -> object:
+        self.calls.append(url)
+        script = self.scripts.get(url)
+        if script:
+            step = script.pop(0)
+            if isinstance(step, BaseException):
+                raise step
+        return {"url": url}
+
+
+def resilient(
+    scripts: dict[str, list[object]] | None = None,
+    policy: RetryPolicy | None = None,
+    breaker: CircuitBreaker | None = None,
+    clock: FakeClock | None = None,
+) -> tuple[ResilientTransport, ScriptedTransport, list[float]]:
+    inner = ScriptedTransport(scripts)
+    sleeps: list[float] = []
+    clock = clock or FakeClock()
+
+    def sleep(delay: float) -> None:
+        sleeps.append(delay)
+        clock.advance(delay)
+
+    transport = ResilientTransport(
+        inner, policy=policy, breaker=breaker, sleep=sleep, clock=clock
+    )
+    return transport, inner, sleeps
+
+
+URL = "https://a.example/api/v1/instance"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(deadline=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(domain_budget=-1)
+
+    def test_backoff_is_capped_full_jitter(self):
+        import random
+
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3)
+        rng = random.Random(0)
+        for attempt in range(1, 10):
+            ceiling = min(0.3, 0.1 * 2 ** (attempt - 1))
+            assert 0.0 <= policy.backoff_delay(attempt, rng) <= ceiling
+
+    def test_is_retryable(self):
+        assert is_retryable(RequestTimeoutError(URL))
+        assert is_retryable(ServerError(URL))
+        assert is_retryable(RateLimitError(URL, retry_after=1.0))
+        assert not is_retryable(InstanceUnavailableError(URL))
+        assert not is_retryable(CrawlBlockedError(URL))
+        assert not is_retryable(ValueError("x"))
+
+
+class TestResilientTransport:
+    def test_transient_failures_are_retried_to_success(self):
+        transport, inner, sleeps = resilient(
+            {URL: [RequestTimeoutError(URL), ConnectionLostError(URL)]}
+        )
+        assert transport.get(URL) == {"url": URL}
+        assert len(inner.calls) == 3
+        assert len(sleeps) == 2
+        assert transport.resilience.recovered == 1
+        assert transport.resilience.retries == 2
+
+    def test_attempts_exhausted_reraises_last_error(self):
+        transport, inner, _ = resilient(
+            {URL: [ServerError(URL)] * 5},
+            policy=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(ServerError):
+            transport.get(URL)
+        assert len(inner.calls) == 3
+        assert transport.resilience.exhausted == 1
+
+    def test_deterministic_failures_pass_straight_through(self):
+        transport, inner, sleeps = resilient(
+            {URL: [InstanceUnavailableError(URL)]}
+        )
+        with pytest.raises(InstanceUnavailableError):
+            transport.get(URL)
+        assert len(inner.calls) == 1
+        assert sleeps == []
+
+    def test_rate_limit_honours_retry_after_and_resets_budget(self):
+        transport, inner, sleeps = resilient(
+            {URL: [RateLimitError(URL, retry_after=0.25)]},
+            policy=RetryPolicy(max_delay=2.0),
+        )
+        transport.get(URL)
+        assert sleeps == [0.25]
+        assert inner.budget_resets == ["a.example"]
+
+    def test_retry_after_capped_at_max_delay(self):
+        transport, _, sleeps = resilient(
+            {URL: [RateLimitError(URL, retry_after=60.0)]},
+            policy=RetryPolicy(max_delay=0.5),
+        )
+        transport.get(URL)
+        assert sleeps == [0.5]
+
+    def test_domain_budget_bounds_total_retries(self):
+        scripts = {
+            f"https://a.example/{n}": [RequestTimeoutError(URL)] * 9
+            for n in range(3)
+        }
+        transport, inner, _ = resilient(
+            scripts, policy=RetryPolicy(max_attempts=9, domain_budget=2)
+        )
+        failures = 0
+        for n in range(3):
+            with pytest.raises(RequestTimeoutError):
+                transport.get(f"https://a.example/{n}")
+            failures += 1
+        # 2 retries total across the domain, then every request gets
+        # exactly one attempt
+        assert transport.resilience.budget_denied >= 1
+        assert len(inner.calls) == 3 + 2
+
+    def test_deadline_bounds_time_spent_retrying(self):
+        clock = FakeClock()
+        transport, _, _ = resilient(
+            {URL: [RateLimitError(URL, retry_after=5.0)] * 9},
+            policy=RetryPolicy(max_attempts=9, max_delay=10.0, deadline=3.0),
+            clock=clock,
+        )
+        with pytest.raises(RequestTimeoutError):
+            transport.get(URL)
+        assert transport.resilience.deadline_expired == 1
+
+    def test_jitter_is_deterministic_per_domain(self):
+        script = lambda: {URL: [ServerError(URL)] * 3}  # noqa: E731
+        first, _, first_sleeps = resilient(script(), policy=RetryPolicy(max_attempts=4))
+        second, _, second_sleeps = resilient(script(), policy=RetryPolicy(max_attempts=4))
+        first.get(URL)
+        second.get(URL)
+        assert first_sleeps == second_sleeps
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(reset_timeout=0)
+
+    def test_opens_after_consecutive_transient_failures(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=10.0, clock=FakeClock())
+        error = RequestTimeoutError(URL)
+        breaker.record_failure("a.example", error)
+        assert breaker.state("a.example") == CircuitBreaker.CLOSED
+        breaker.record_failure("a.example", error)
+        assert breaker.state("a.example") == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        with pytest.raises(CircuitOpenError):
+            breaker.before_request("a.example", URL)
+
+    def test_deterministic_failures_never_trip(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        for _ in range(10):
+            breaker.record_failure("a.example", InstanceUnavailableError(URL))
+        assert breaker.state("a.example") == CircuitBreaker.CLOSED
+
+    def test_success_clears_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        error = ServerError(URL)
+        breaker.record_failure("a.example", error)
+        breaker.record_success("a.example")
+        breaker.record_failure("a.example", error)
+        assert breaker.state("a.example") == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_then_close_or_reopen(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=5.0, clock=clock)
+        error = ConnectionLostError(URL)
+        breaker.record_failure("a.example", error)
+        assert breaker.state("a.example") == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.state("a.example") == CircuitBreaker.HALF_OPEN
+        # a half-open probe failing re-opens immediately
+        breaker.record_failure("a.example", error)
+        assert breaker.state("a.example") == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        breaker.before_request("a.example", URL)  # probe admitted
+        breaker.record_success("a.example")
+        assert breaker.state("a.example") == CircuitBreaker.CLOSED
+
+    def test_breakers_are_per_domain(self):
+        breaker = CircuitBreaker(failure_threshold=1, clock=FakeClock())
+        breaker.record_failure("a.example", ServerError(URL))
+        assert breaker.state("a.example") == CircuitBreaker.OPEN
+        assert breaker.state("b.example") == CircuitBreaker.CLOSED
+
+    def test_circuit_open_error_carries_remaining_time(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0, clock=clock)
+        breaker.record_failure("a.example", ServerError(URL))
+        clock.advance(4.0)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_request("a.example", URL)
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_transport_integration_fails_fast_while_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=30.0, clock=clock)
+        transport, inner, _ = resilient(
+            {URL: [ServerError(URL)] * 2},
+            policy=RetryPolicy(max_attempts=2),
+            breaker=breaker,
+            clock=clock,
+        )
+        with pytest.raises(ServerError):
+            transport.get(URL)
+        # breaker tripped by the two failed attempts; next request is
+        # refused without touching the inner transport
+        calls_before = len(inner.calls)
+        with pytest.raises(CircuitOpenError):
+            transport.get(URL)
+        assert len(inner.calls) == calls_before

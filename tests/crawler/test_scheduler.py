@@ -90,3 +90,46 @@ class TestCrawlScheduler:
         scheduler = CrawlScheduler(threads=4)
         report = scheduler.run(["c", "a", "b"], lambda key: key)
         assert [outcome.key for outcome in report.outcomes] == ["a", "b", "c"]
+
+    def test_first_failure_cancels_outstanding_work(self):
+        # with one worker thread and an immediate failure at the head of
+        # the queue, cancellation must stop the backlog from running —
+        # without it, shutdown would drain all 50 sleeps
+        scheduler = CrawlScheduler(threads=1)
+        executed: list[str] = []
+        lock = threading.Lock()
+
+        def worker(key: str) -> str:
+            with lock:
+                executed.append(key)
+            if key == "bad":
+                raise ValueError("boom")
+            time.sleep(0.01)
+            return key
+
+        keys = ["bad"] + [f"queued-{i}" for i in range(50)]
+        with pytest.raises(CrawlError):
+            scheduler.run(keys, worker, swallow_errors=False)
+        # at most a couple of queued tasks may have started before the
+        # cancellation landed; the bulk must never run
+        assert len(executed) < 10
+
+    def test_failure_taxonomy_counts_by_class(self):
+        from repro.errors import CrawlBlockedError, InstanceUnavailableError
+
+        scheduler = CrawlScheduler(threads=2)
+
+        def worker(key: str) -> str:
+            url = f"https://{key}/x"
+            if key.startswith("down"):
+                raise InstanceUnavailableError(url)
+            if key.startswith("blocked"):
+                raise CrawlBlockedError(url)
+            return key
+
+        report = scheduler.run(["down-1", "down-2", "blocked-1", "fine"], worker)
+        assert report.failure_taxonomy() == {"offline": 2, "blocked": 1}
+
+    def test_failure_taxonomy_empty_on_clean_crawl(self):
+        report = CrawlScheduler(threads=1).run(["a"], lambda key: key)
+        assert report.failure_taxonomy() == {}

@@ -157,3 +157,109 @@ class TestTootRecord:
             }
         )
         assert record.is_boost
+
+
+class TimelineChaosTransport:
+    """Fails timeline requests for chosen domains; probes pass through."""
+
+    def __init__(self, inner, error_for: dict[str, Exception]) -> None:
+        self._inner = inner
+        self.error_for = error_for
+
+    @property
+    def network(self):
+        return self._inner.network
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    def known_domains(self):
+        return self._inner.known_domains()
+
+    def reset_budget(self, domain=None):
+        self._inner.reset_budget(domain)
+
+    def get(self, url, at_minute=None):
+        from urllib.parse import urlparse
+
+        domain = urlparse(url).netloc
+        if "/timelines/" in url and domain in self.error_for:
+            raise self.error_for[domain]
+        return self._inner.get(url, at_minute=at_minute)
+
+
+class TestProbesAndCoverage:
+    def test_probe_outcomes_classify_offline(self, network):
+        network.availability.add_outage(
+            Outage("gamma.example", TimeWindow(0, network.clock.window_minutes))
+        )
+        crawler = TootCrawler(SimulatedTransport(network), threads=2)
+        minute = network.clock.window_minutes - 1
+        outcomes = crawler.probe_domains(network.domains(), minute)
+        assert outcomes["gamma.example"] == "offline"
+        assert outcomes["alpha.example"] == "ok"
+        assert crawler.live_domains(network.domains(), minute) == sorted(
+            set(network.domains()) - {"gamma.example"}
+        )
+
+    def test_crawl_records_probe_outcomes(self, network):
+        network.availability.add_outage(
+            Outage("gamma.example", TimeWindow(0, network.clock.window_minutes))
+        )
+        result = TootCrawler(SimulatedTransport(network), threads=2).crawl()
+        assert result.probe_outcomes["gamma.example"] == "offline"
+        assert result.skipped_offline == ["gamma.example"]
+        coverage = result.coverage()
+        assert coverage.instances_offline == 1
+        assert coverage.complete
+        assert coverage.fraction == 1.0
+
+    def test_coverage_counts_failed_instances_by_class(self, network):
+        from repro.errors import RequestTimeoutError
+
+        transport = TimelineChaosTransport(
+            SimulatedTransport(network),
+            {
+                "alpha.example": RequestTimeoutError(
+                    "https://alpha.example/api/v1/timelines/public"
+                )
+            },
+        )
+        result = TootCrawler(transport, threads=2).crawl()
+        assert result.failure_classes == {"alpha.example": "timeout"}
+        coverage = result.coverage()
+        assert coverage.instances_failed == 1
+        assert not coverage.complete
+        assert coverage.fraction < 1.0
+        assert coverage.failure_classes == {"timeout": 1}
+        assert coverage.as_dict()["complete"] is False
+
+    def test_coverage_attempted_arithmetic(self, network):
+        result = TootCrawler(SimulatedTransport(network), threads=2).crawl()
+        coverage = result.coverage()
+        assert coverage.instances_attempted == len(network.domains())
+        assert coverage.instances_crawled == len(result.toot_counts)
+        assert coverage.instances_eligible == coverage.instances_crawled
+
+    def test_resilient_crawl_matches_plain_crawl(self, network):
+        from repro.crawler import (
+            FaultInjector,
+            FaultRates,
+            FaultyTransport,
+            ResilientTransport,
+            RetryPolicy,
+        )
+
+        plain = TootCrawler(SimulatedTransport(network), threads=2).crawl()
+        chaotic = ResilientTransport(
+            FaultyTransport(
+                SimulatedTransport(network),
+                FaultInjector(seed=1, rates=FaultRates.uniform(0.15)),
+            ),
+            policy=RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0),
+        )
+        resilient = TootCrawler(chaotic, threads=2).crawl()
+        assert resilient.toot_counts == plain.toot_counts
+        assert resilient.skipped_offline == plain.skipped_offline
+        assert resilient.coverage().complete
