@@ -14,6 +14,9 @@ exposures agree with each other and with the batch sweep:
    queries piped through, must return byte-identical availability values.
 3. Error paths stay errors: unknown failure names are HTTP 400, unknown
    endpoints 404, malformed stdin tokens answer ``{"error": ...}``.
+4. ``GET /metrics`` answers Prometheus text exposition in which the
+   fig15 availability queries just issued are visible: the per-endpoint
+   request counter and latency histogram for ``/availability``.
 
 Usage::
 
@@ -51,6 +54,15 @@ def _get(url: str) -> tuple[int, dict]:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read())
+
+
+def _get_text(url: str) -> tuple[int, str, str]:
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
 
 
 def _wait_for_health(base: str, process: subprocess.Popen) -> None:
@@ -117,6 +129,36 @@ def main() -> int:
 
         status, payload = _get(f"{base}/meta")
         _check("http /meta", status == 200 and payload["n_toots"] > 0, repr(payload))
+        _check(
+            "http /meta build counters",
+            payload["build_counters"]["strategies_built"] >= 2
+            and payload["uptime_seconds"] >= 0,
+            repr(payload.get("build_counters")),
+        )
+
+        status, content_type, body = _get_text(f"{base}/metrics")
+        _check(
+            "http /metrics is Prometheus text",
+            status == 200 and content_type.startswith("text/plain"),
+            f"status {status}, content-type {content_type!r}",
+        )
+        for needle in (
+            '# TYPE repro_serve_requests_total counter',
+            'repro_serve_requests_total{endpoint="/availability",status="200"} 2',
+            '# TYPE repro_serve_request_seconds histogram',
+            'repro_serve_request_seconds_bucket{endpoint="/availability",le="+Inf"} 2',
+            'repro_serve_build_seconds_count{kind="strategy"}',
+        ):
+            _check(f"/metrics contains {needle!r}", needle in body, body[:2000])
+
+        status, payload = _get(f"{base}/stats")
+        _check(
+            "http /stats",
+            status == 200 and payload["build_counters"]["strategies_built"] >= 2
+            and "metrics" in payload,
+            repr(payload)[:2000],
+        )
+
         status, payload = _get(
             f"{base}/availability?strategy=no-rep&failure=nope&k=10"
         )

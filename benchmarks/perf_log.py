@@ -14,17 +14,30 @@ environment variable.  The repo-root copy is **committed on purpose**:
 it is the recorded trajectory baseline, updated deliberately when a PR
 moves the numbers (CI regenerates its own copy and uploads it as a
 build artifact for run-over-run comparison).
+
+Compare two consolidated documents — e.g. the committed baseline against
+a CI artifact — with::
+
+    python benchmarks/perf_log.py --diff BENCH_engine.json ci/BENCH_engine.json
+
+which prints one line per changed metric with its relative delta.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
 import time
 from pathlib import Path
+from typing import Sequence
 
 SCHEMA = "repro.bench_engine/v1"
+
+#: Machine-context keys :func:`record` stamps onto every entry; the diff
+#: skips them (a hardware change is context, not a regression).
+CONTEXT_KEYS = ("recorded_at", "python", "machine", "cpu_count")
 
 
 def _check_metrics(payload: dict, prefix: str = "") -> None:
@@ -77,3 +90,82 @@ def record(section: str, payload: dict, path: Path | str | None = None) -> Path:
     }
     target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
     return target
+
+
+def _flat_metrics(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric metrics as dotted flat keys, minus the machine context."""
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        if not prefix and key in CONTEXT_KEYS:
+            continue
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flat_metrics(value, prefix=f"{name}."))
+        elif not isinstance(value, bool) and isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat
+
+
+def diff_documents(old: dict, new: dict) -> list[str]:
+    """Per-metric delta lines between two consolidated documents.
+
+    Unchanged metrics are omitted; sections present on only one side are
+    reported as a whole.  The relative delta is signed against the old
+    value, so a latency drop prints negative.
+    """
+    old_entries = old.get("entries", {})
+    new_entries = new.get("entries", {})
+    lines: list[str] = []
+    for section in sorted(set(old_entries) | set(new_entries)):
+        if section not in old_entries:
+            lines.append(f"{section}: only in NEW")
+            continue
+        if section not in new_entries:
+            lines.append(f"{section}: only in OLD")
+            continue
+        olds = _flat_metrics(old_entries[section])
+        news = _flat_metrics(new_entries[section])
+        for metric in sorted(set(olds) | set(news)):
+            before = olds.get(metric)
+            after = news.get(metric)
+            if before is None:
+                lines.append(f"{section}.{metric}: (absent) -> {after:g}")
+            elif after is None:
+                lines.append(f"{section}.{metric}: {before:g} -> (absent)")
+            elif before != after:
+                if before != 0:
+                    delta = 100.0 * (after - before) / before
+                    lines.append(
+                        f"{section}.{metric}: {before:g} -> {after:g} ({delta:+.1f}%)"
+                    )
+                else:
+                    lines.append(f"{section}.{metric}: {before:g} -> {after:g}")
+    return lines
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare two consolidated BENCH_engine.json documents."
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        required=True,
+        help="print per-metric deltas from OLD to NEW",
+    )
+    args = parser.parse_args(argv)
+    old_path, new_path = (Path(p) for p in args.diff)
+    old = json.loads(old_path.read_text())
+    new = json.loads(new_path.read_text())
+    lines = diff_documents(old, new)
+    if not lines:
+        print(f"no metric changes between {old_path} and {new_path}")
+        return 0
+    for line in lines:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -29,6 +29,13 @@ transports with per-instance circuit breakers, ``--fault-rate`` injects
 seeded chaos to exercise them, and ``collect --resume`` reopens an
 interrupted crawl from its journal — sealed instances are never
 re-crawled.
+
+Observability (``collect``/``run``/``serve``): ``--trace PATH`` records
+spans across the whole command (``--trace-format chrome`` writes a
+``chrome://tracing`` file), ``--metrics [PATH]`` dumps Prometheus text
+on exit, and ``-v``/``-q`` tune the ``repro.*`` loggers.  The HTTP
+server additionally answers ``GET /metrics`` whether or not the flags
+were passed.
 """
 
 from __future__ import annotations
@@ -36,10 +43,11 @@ from __future__ import annotations
 import argparse
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Sequence
 
-from repro import build_scenario, collect_datasets
+from repro import build_scenario, collect_datasets, obs
 from repro.crawler import FollowerGraphCrawler, SimulatedTransport, TootCrawler
 from repro.datasets import Anonymiser, save_edges, save_snapshots, save_toot_records
 from repro.errors import AnalysisError, ConfigurationError, DatasetError
@@ -109,6 +117,57 @@ def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
             "base backoff delay between retry attempts (default: 0.05; the "
             "cap scales with it — tiny values keep chaos runs fast in CI)"
         ),
+    )
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        dest="trace_path",
+        help=(
+            "record tracing spans for the whole command to PATH (crawl, "
+            "corpus, engine, experiment phases, serve); a closing summary "
+            "reports how much wall-clock the root spans cover"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=obs.TRACE_FORMATS,
+        default="jsonl",
+        help=(
+            "trace file format: 'jsonl' streams one span per line as spans "
+            "close (crash-safe), 'chrome' writes a chrome://tracing / "
+            "ui.perfetto.dev trace_event file on exit (default: jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        dest="metrics_path",
+        help=(
+            "enable counters/histograms on the instrumented hot paths and "
+            "dump them in Prometheus text format on exit — to stdout, or to "
+            "PATH if given"
+        ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log more from the repro.* loggers (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="log less (-q: errors only, -qq: silence)",
     )
 
 
@@ -219,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scenario_arguments(collect)
     _add_resilience_arguments(collect)
+    _add_observability_arguments(collect)
     collect.set_defaults(func=_command_collect)
 
     experiments = subparsers.add_parser(
@@ -316,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bootstrap seeds of the sampled churn processes (default: 0 1 2)",
     )
     _add_resilience_arguments(run)
+    _add_observability_arguments(run)
     run.set_defaults(func=_command_run)
 
     serve = subparsers.add_parser(
@@ -382,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="evaluate loss-table shards on N threads during the one-time build",
     )
+    _add_observability_arguments(serve)
     serve.set_defaults(func=_command_serve)
     return parser
 
@@ -709,11 +771,64 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _setup_observability(args: argparse.Namespace) -> None:
+    """Install the tracer/metrics/logging state the flags ask for."""
+    if hasattr(args, "verbose"):
+        obs.configure_logging(args.verbose - args.quiet)
+    if getattr(args, "trace_path", None) is not None:
+        try:
+            obs.set_tracer(obs.Tracer(args.trace_path, fmt=args.trace_format))
+        except OSError as exc:
+            raise ConfigurationError(f"cannot open trace file: {exc}") from exc
+    if getattr(args, "metrics_path", None) is not None:
+        obs.enable_metrics(fresh=True)
+
+
+def _teardown_observability(args: argparse.Namespace, elapsed: float) -> None:
+    """Flush trace/metrics output and reset the process-wide state.
+
+    The reset matters beyond hygiene: tests (and embedders) call
+    :func:`main` repeatedly in one process, and one invocation's tracer
+    must not leak into the next.
+    """
+    tracer = obs.get_tracer()
+    if tracer is not None:
+        obs.set_tracer(None)
+        tracer.close()
+        covered = obs.root_span_seconds(tracer.events)
+        pct = 100.0 * covered / elapsed if elapsed > 0 else 0.0
+        print(
+            f"trace: {len(tracer.events)} span(s) -> {tracer.path} "
+            f"[{tracer.fmt}]; root spans cover {pct:.1f}% of {elapsed:.2f}s wall",
+            file=sys.stderr,
+        )
+    if getattr(args, "metrics_path", None) is not None and obs.metrics_enabled():
+        text = obs.metrics().render_prometheus()
+        obs.disable_metrics()
+        if args.metrics_path == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.metrics_path).write_text(text)
+            print(
+                f"metrics: wrote Prometheus text to {args.metrics_path}",
+                file=sys.stderr,
+            )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for the ``repro-mastodon`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        _setup_observability(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    try:
+        return args.func(args)
+    finally:
+        _teardown_observability(args, time.perf_counter() - started)
 
 
 if __name__ == "__main__":  # pragma: no cover

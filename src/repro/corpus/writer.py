@@ -27,6 +27,7 @@ and sliceable by row range without decoding the rest.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import shutil
 import threading
@@ -36,9 +37,12 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import DatasetError
 from repro.corpus.columns import COLUMN_NAMES, CORPUS_SCHEMA
 from repro.corpus.journal import JOURNAL_NAME, CrawlJournal
+
+_log = logging.getLogger("repro.corpus.writer")
 
 #: Default toots per shard: aligned with the engine's streaming default
 #: (:data:`repro.engine.sharding.DEFAULT_SHARD_SIZE`) so corpus shard
@@ -478,6 +482,7 @@ class CorpusWriter:
         added = spool.add_page(payload)
         max_id = min(spool.toot_id[-added:]) if added else None
         self._journal.page(domain, added, max_id=max_id)
+        obs.count("repro_corpus_rows_total", added)
         return added
 
     def add_records(self, domain: str, records: Iterable["TootRecord"]) -> int:
@@ -514,9 +519,17 @@ class CorpusWriter:
             target = self._spool_dir / domain
             self._sealed[domain] = target
         staging = target.with_name(target.name + _PARTIAL_SUFFIX)
+        timed = obs.active()
+        started = time.perf_counter() if timed else 0.0
         spool.seal(staging)
         os.replace(staging, target)
+        if timed:
+            obs.observe(
+                "repro_corpus_seal_seconds", time.perf_counter() - started
+            )
+            obs.count("repro_corpus_spools_sealed_total")
         self._journal.sealed(domain)
+        _log.debug("sealed spool for %s", domain)
 
     def discard_instance(self, domain: str) -> None:
         """Drop everything buffered for ``domain`` (its crawl failed)."""
@@ -557,6 +570,12 @@ class CorpusWriter:
                 )
             self._finalised = True
         self._journal.note("finalise_started")
+        with obs.span("corpus/merge", instances=len(self._sealed)) as merge_span:
+            store = self._merge(crawl_minute, coverage, merge_span)
+        return store
+
+    def _merge(self, crawl_minute, coverage, merge_span) -> "CorpusStore":
+        merge_started = time.perf_counter() if obs.active() else 0.0
 
         url_code: dict[str, int] = {}
         domains = _Interner()
@@ -723,6 +742,24 @@ class CorpusWriter:
         )
         shutil.rmtree(self._spool_dir, ignore_errors=True)
         self._journal.remove()
+
+        if obs.active():
+            merge_seconds = time.perf_counter() - merge_started
+            merge_span.set(rows=observed_rows, toots=n_toots, shards=len(shards))
+            obs.count("repro_corpus_merge_seconds_total", merge_seconds)
+            obs.count("repro_corpus_shards_written_total", len(shards))
+            obs.count("repro_corpus_merged_rows_total", observed_rows)
+            if merge_seconds > 0:
+                obs.set_gauge(
+                    "repro_corpus_merge_rows_per_second",
+                    observed_rows / merge_seconds,
+                )
+        _log.info(
+            "corpus finalised: %d observed rows -> %d unique toots in %d shards",
+            observed_rows,
+            n_toots,
+            len(shards),
+        )
 
         from repro.corpus.store import CorpusStore
 

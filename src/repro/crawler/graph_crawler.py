@@ -10,9 +10,11 @@ directed edges ``follower -> followed``.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
+from repro import obs
 from repro.errors import DatasetError
 from repro.crawler.faults import classify_error
 from repro.crawler.http import SimulatedTransport
@@ -20,6 +22,8 @@ from repro.crawler.scheduler import CrawlScheduler, RateLimiter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.corpus.graph import GraphWriter
+
+_log = logging.getLogger("repro.crawler.graph")
 
 
 def split_handle(handle: str) -> tuple[str, str]:
@@ -239,7 +243,8 @@ class FollowerGraphCrawler:
             )
             return "ok"
 
-        probe_report = self._scheduler.run(to_probe, probe)
+        with obs.span("crawl/graph-probe", domains=len(to_probe)):
+            probe_report = self._scheduler.run(to_probe, probe)
         result.probe_outcomes = {
             outcome.key: "ok" if outcome.ok else classify_error(outcome.error)
             for outcome in probe_report.outcomes
@@ -250,7 +255,8 @@ class FollowerGraphCrawler:
             worker = lambda domain: self.crawl_instance(domain, at_minute)  # noqa: E731
         else:
             worker = lambda domain: self._crawl_into(sink, domain, at_minute)  # noqa: E731
-        report = self._scheduler.run(reachable, worker)
+        with obs.span("crawl/graph", instances=len(reachable)):
+            report = self._scheduler.run(reachable, worker)
         for outcome in report.outcomes:
             if outcome.ok:
                 if sink is None:
@@ -271,4 +277,14 @@ class FollowerGraphCrawler:
             resumed_rows = sink.resumed_rows()
         for domain in result.resumed:
             result.edge_counts[domain] = int(resumed_rows.get(domain, 0))
+        edges_observed = (
+            len(result.edges) if sink is None else sum(result.edge_counts.values())
+        )
+        obs.count("repro_crawl_edges_total", edges_observed)
+        _log.info(
+            "graph crawl done: %d instances reachable, %d edges, %d failed",
+            len(reachable),
+            edges_observed,
+            len(result.failures),
+        )
         return result

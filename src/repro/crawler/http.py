@@ -23,9 +23,12 @@ Supported endpoints
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any
 from urllib.parse import parse_qs, urlparse
+
+from repro import obs
 
 from repro.errors import (
     CrawlBlockedError,
@@ -124,6 +127,30 @@ class SimulatedTransport:
         Raises a subclass of :class:`~repro.errors.HTTPError` on failure,
         mirroring how a real crawler experiences the network.
         """
+        # the whole-request observation lives in a wrapper so the
+        # metrics-off path costs one module-global check and no clock reads
+        if not obs.metrics_enabled():
+            return self._get(url, at_minute)
+        started = time.perf_counter()
+        try:
+            response = self._get(url, at_minute)
+        except Exception as error:
+            elapsed = time.perf_counter() - started
+            domain = urlparse(url).netloc
+            obs.observe("repro_crawl_request_seconds", elapsed, domain=domain)
+            obs.count(
+                "repro_crawl_requests_total",
+                domain=domain,
+                outcome=type(error).__name__,
+            )
+            raise
+        elapsed = time.perf_counter() - started
+        domain = urlparse(url).netloc
+        obs.observe("repro_crawl_request_seconds", elapsed, domain=domain)
+        obs.count("repro_crawl_requests_total", domain=domain, outcome="ok")
+        return response
+
+    def _get(self, url: str, at_minute: int | None = None) -> HTTPResponse:
         parsed = urlparse(url)
         domain = parsed.netloc
         minute = self._network.clock.now if at_minute is None else at_minute

@@ -9,12 +9,16 @@ instances dataset is built from.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro import obs
 from repro.errors import ConfigurationError, HTTPError, TransientCrawlError
 from repro.crawler.http import SimulatedTransport
 from repro.simtime import DEFAULT_PROBE_INTERVAL_MINUTES, MINUTES_PER_DAY
+
+_log = logging.getLogger("repro.crawler.monitor")
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +142,20 @@ class InstanceMonitor:
         if end_minute <= start_minute:
             raise ConfigurationError("the monitoring window must have positive length")
         log = MonitoringLog(interval_minutes=self.interval_minutes)
-        for minute in clock.iter_ticks(self.interval_minutes, start_minute, end_minute):
-            log.extend(self.poll(minute))
+        with obs.span(
+            "crawl/monitor",
+            domains=len(self.domains),
+            interval_minutes=self.interval_minutes,
+        ):
+            for minute in clock.iter_ticks(
+                self.interval_minutes, start_minute, end_minute
+            ):
+                log.extend(self.poll(minute))
+        obs.count("repro_monitor_snapshots_total", len(log))
+        _log.info(
+            "monitoring done: %d snapshots of %d domains every %d minutes",
+            len(log),
+            len(self.domains),
+            self.interval_minutes,
+        )
         return log

@@ -23,6 +23,7 @@ Two invariants keep the differential suite honest:
 from __future__ import annotations
 
 import hashlib
+import logging
 import random
 import threading
 import time
@@ -30,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 from urllib.parse import urlparse
 
+from repro import obs
 from repro.errors import (
     CircuitOpenError,
     ConfigurationError,
@@ -44,6 +46,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Exception types the retry layer will re-issue a request for.
 RETRYABLE_ERRORS = (TransientCrawlError, ServerError, RateLimitError)
+
+_log = logging.getLogger("repro.crawler.resilient")
 
 
 def is_retryable(error: BaseException) -> bool:
@@ -133,6 +137,11 @@ class CircuitBreaker:
             self._clock() - self._opened_at[domain] >= self.reset_timeout
         ):
             state = self._states[domain] = self.HALF_OPEN
+            obs.count(
+                "repro_crawl_breaker_transitions_total",
+                domain=domain,
+                to=self.HALF_OPEN,
+            )
         return state
 
     def before_request(self, domain: str, url: str) -> None:
@@ -148,8 +157,16 @@ class CircuitBreaker:
     def record_success(self, domain: str) -> None:
         """A request went through: close the circuit, clear the streak."""
         with self._lock:
+            previous = self._states.get(domain, self.CLOSED)
             self._states[domain] = self.CLOSED
             self._failures[domain] = 0
+        if previous != self.CLOSED:
+            obs.count(
+                "repro_crawl_breaker_transitions_total",
+                domain=domain,
+                to=self.CLOSED,
+            )
+            _log.info("breaker closed for %s", domain)
 
     def record_failure(self, domain: str, error: BaseException) -> None:
         """A request failed; transient failures advance toward a trip."""
@@ -164,6 +181,17 @@ class CircuitBreaker:
                 self._opened_at[domain] = self._clock()
                 self._failures[domain] = 0
                 self.trips += 1
+                obs.count(
+                    "repro_crawl_breaker_transitions_total",
+                    domain=domain,
+                    to=self.OPEN,
+                )
+                _log.info(
+                    "breaker opened for %s after %s (trip %d)",
+                    domain,
+                    type(error).__name__,
+                    self.trips,
+                )
 
 
 @dataclass(slots=True)
@@ -263,6 +291,7 @@ class ResilientTransport:
     def _pause(self, delay: float) -> None:
         if delay > 0:
             self.resilience.slept += delay
+            obs.count("repro_crawl_backoff_seconds_total", delay)
             self._sleep(delay)
 
     def get(self, url: str, at_minute: int | None = None) -> "HTTPResponse":
@@ -278,6 +307,7 @@ class ResilientTransport:
         while True:
             attempt += 1
             self.resilience.attempts += 1
+            obs.count("repro_crawl_attempts_total")
             if breaker is not None:
                 breaker.before_request(domain, url)
             try:
@@ -293,6 +323,7 @@ class ResilientTransport:
                 breaker.record_success(domain)
             if attempt > 1:
                 self.resilience.recovered += 1
+                obs.count("repro_crawl_recovered_total")
             return response
 
     def _handle_failure(
@@ -307,9 +338,17 @@ class ResilientTransport:
         policy = self.policy
         if attempt >= policy.max_attempts:
             self.resilience.exhausted += 1
+            obs.count("repro_crawl_exhausted_total", domain=domain)
+            _log.debug(
+                "retries exhausted for %s after %d attempts (%s)",
+                url,
+                attempt,
+                type(error).__name__,
+            )
             raise error
         if not self._spend_retry(domain):
             self.resilience.budget_denied += 1
+            obs.count("repro_crawl_budget_denied_total", domain=domain)
             raise error
         if isinstance(error, RateLimitError):
             delay = min(policy.max_delay, max(0.0, error.retry_after))
@@ -319,9 +358,11 @@ class ResilientTransport:
             elapsed = self._clock() - started
             if elapsed + delay > policy.deadline:
                 self.resilience.deadline_expired += 1
+                obs.count("repro_crawl_deadline_expired_total", domain=domain)
                 raise RequestTimeoutError(url) from error
         self._pause(delay)
         if isinstance(error, RateLimitError):
             # the rate-limit window rolled over while we slept
             self._inner.reset_budget(domain)
         self.resilience.retries += 1
+        obs.count("repro_crawl_retries_total", domain=domain)

@@ -14,9 +14,11 @@ politeness delays, and runs instances in parallel across a thread pool.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
+from repro import obs
 from repro.errors import CrawlBlockedError
 from repro.crawler.faults import classify_error
 from repro.crawler.http import SimulatedTransport
@@ -25,6 +27,8 @@ from repro.fediverse.timeline import DEFAULT_PAGE_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.corpus.writer import CorpusWriter
+
+_log = logging.getLogger("repro.crawler.toots")
 
 
 @dataclass(frozen=True, slots=True)
@@ -284,7 +288,9 @@ class TootCrawler:
             )
             return "ok"
 
-        report = self._scheduler.run(sorted(set(domains)), probe)
+        targets = sorted(set(domains))
+        with obs.span("crawl/probe", domains=len(targets)):
+            report = self._scheduler.run(targets, probe)
         return {
             outcome.key: "ok" if outcome.ok else classify_error(outcome.error)
             for outcome in report.outcomes
@@ -341,7 +347,8 @@ class TootCrawler:
             worker = lambda domain: self._page_instance(  # noqa: E731
                 domain, at_minute, [], sink
             )
-        report: CrawlReport = self._scheduler.run(live, worker)
+        with obs.span("crawl/toots", instances=len(live)):
+            report: CrawlReport = self._scheduler.run(live, worker)
         for outcome in report.outcomes:
             if not outcome.ok:
                 if sink is not None:
@@ -365,4 +372,16 @@ class TootCrawler:
             result.records_by_instance.setdefault(domain, [])
             result.toot_counts[domain] = int(resumed_rows.get(domain, 0))
         result.skipped_blocked.sort()
+        observed = sum(result.toot_counts.values())
+        obs.count("repro_crawl_toots_total", observed)
+        _log.info(
+            "toot crawl done: %d/%d instances, %d toots, %d offline, "
+            "%d blocked, %d failed",
+            len(result.toot_counts),
+            len(domains),
+            observed,
+            len(result.skipped_offline),
+            len(result.skipped_blocked),
+            len(result.failures),
+        )
         return result

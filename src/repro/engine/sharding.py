@@ -34,6 +34,8 @@ gates the identity, memory, and parallel-speedup claims.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
@@ -41,6 +43,7 @@ from typing import Callable, Iterator, Mapping
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.engine.incidence import DomainLookup, TootIncidence
 from repro.engine.kernels import curves_from_loss_table, losses_per_step_batch
@@ -325,15 +328,55 @@ def streaming_losses(
         return losses_per_step_batch(shard.matrix, removal_matrix, steps)
 
     bounds = sharded.shard_bounds()
-    if workers is not None and workers > 1 and len(bounds) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            # executor.map yields in submission order: a fixed, shard-ordered
-            # fold no matter which thread finishes first
-            for table in pool.map(evaluate, bounds):
-                losses += table
-    else:
-        for shard_bounds in bounds:
-            losses += evaluate(shard_bounds)
+    threaded = workers is not None and workers > 1 and len(bounds) > 1
+
+    # when somebody is watching, wrap each fold in a span and tally the
+    # busy time each worker spends inside kernels; the inactive path
+    # pays exactly one obs.active() check
+    observing = obs.active()
+    if observing:
+        plain_evaluate = evaluate
+        busy = [0.0]
+        busy_lock = threading.Lock()
+
+        def evaluate(bounds: tuple[int, int]) -> np.ndarray:
+            with obs.span("engine/shard", start=bounds[0], stop=bounds[1]):
+                fold_started = time.perf_counter()
+                table = plain_evaluate(bounds)
+                fold_seconds = time.perf_counter() - fold_started
+            obs.observe("repro_engine_fold_seconds", fold_seconds)
+            with busy_lock:
+                busy[0] += fold_seconds
+            return table
+
+        wall_started = time.perf_counter()
+
+    with obs.span(
+        "engine/streaming_losses",
+        shards=len(bounds),
+        schedules=n_schedules,
+        workers=workers if threaded else 1,
+    ):
+        if threaded:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # executor.map yields in submission order: a fixed,
+                # shard-ordered fold no matter which thread finishes first
+                for table in pool.map(evaluate, bounds):
+                    losses += table
+        else:
+            for shard_bounds in bounds:
+                losses += evaluate(shard_bounds)
+
+    if observing:
+        wall = time.perf_counter() - wall_started
+        obs.count("repro_engine_shard_folds_total", len(bounds))
+        obs.count("repro_engine_toots_folded_total", sharded.n_toots)
+        pool_size = workers if threaded else 1
+        if wall > 0:
+            obs.set_gauge(
+                "repro_engine_worker_utilisation",
+                min(1.0, busy[0] / (wall * pool_size)),
+            )
     return losses
 
 

@@ -32,6 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.core.replication import (
     AvailabilityPoint,
@@ -166,31 +167,37 @@ def availability_curves(
             if isinstance(placements, TootIncidence)
             else TootIncidence.from_placements(placements)
         )
-    lookup = target.lookup
-    blocks: list[np.ndarray] = []
-    col_steps: list[int] = []
-    spans: list[tuple[FailureModel, int, int]] = []  # (model, first column, n columns)
-    for failure in failures:
-        start = len(col_steps)
-        if failure.temporal:
-            block = temporal_removal_matrix(failure.down_matrix(lookup))
-            blocks.append(block)
-            col_steps.extend([1] * block.shape[1])
+    with obs.span(
+        "engine/availability_curves",
+        failures=len(failures),
+        n_toots=target.n_toots,
+        sharded=sharded is not None,
+    ):
+        lookup = target.lookup
+        blocks: list[np.ndarray] = []
+        col_steps: list[int] = []
+        spans: list[tuple[FailureModel, int, int]] = []  # (model, first column, n columns)
+        for failure in failures:
+            start = len(col_steps)
+            if failure.temporal:
+                block = temporal_removal_matrix(failure.down_matrix(lookup))
+                blocks.append(block)
+                col_steps.extend([1] * block.shape[1])
+            else:
+                failure_steps = failure.effective_steps()
+                blocks.append(
+                    lookup.removal_vector(failure.removal_index(), failure_steps)[:, None]
+                )
+                col_steps.append(failure_steps)
+            spans.append((failure, start, len(col_steps) - start))
+        removal_matrix = np.concatenate(blocks, axis=1)
+        steps = np.asarray(col_steps, dtype=np.int64)
+        if sharded is not None:
+            losses = streaming_losses(sharded, removal_matrix, steps, workers=workers)
+            total = sharded.n_toots
         else:
-            failure_steps = failure.effective_steps()
-            blocks.append(
-                lookup.removal_vector(failure.removal_index(), failure_steps)[:, None]
-            )
-            col_steps.append(failure_steps)
-        spans.append((failure, start, len(col_steps) - start))
-    removal_matrix = np.concatenate(blocks, axis=1)
-    steps = np.asarray(col_steps, dtype=np.int64)
-    if sharded is not None:
-        losses = streaming_losses(sharded, removal_matrix, steps, workers=workers)
-        total = sharded.n_toots
-    else:
-        losses = losses_per_step_batch(target.matrix, removal_matrix, steps)
-        total = target.n_toots
+            losses = losses_per_step_batch(target.matrix, removal_matrix, steps)
+            total = target.n_toots
     curves: dict[str, list[AvailabilityPoint]] = {}
     for failure, start, n_cols in spans:
         if failure.temporal:

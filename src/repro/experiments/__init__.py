@@ -21,6 +21,7 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.reporting.experiments import EXPERIMENTS, get_experiment
 from repro.experiments.context import ExperimentContext
@@ -55,15 +56,28 @@ __all__ = [
 
 
 def run_experiment(experiment_id: str, ctx: ExperimentContext) -> ExperimentResult:
-    """Run one experiment against ``ctx`` and stamp the run metadata."""
+    """Run one experiment against ``ctx`` and stamp the run metadata.
+
+    Under ``--trace`` the whole run sits inside an ``experiment/<id>``
+    span and the context's per-phase seconds are stamped into the result
+    metadata as ``phase_<name>_seconds``; without a tracer the metadata
+    is exactly the untraced shape, so traced and untraced runs stay
+    comparable after dropping the volatile timing keys.
+    """
     experiment = get_experiment(experiment_id)
     runner = runner_for(experiment.experiment_id)
-    started = time.perf_counter()
-    result = runner(ctx)
-    elapsed = time.perf_counter() - started
-    return result.with_metadata(
-        {**ctx.run_metadata(), "elapsed_seconds": round(elapsed, 4)}
-    )
+    with obs.span("experiment/" + experiment.experiment_id):
+        started = time.perf_counter()
+        result = runner(ctx)
+        elapsed = time.perf_counter() - started
+    metadata: dict[str, object] = {
+        **ctx.run_metadata(),
+        "elapsed_seconds": round(elapsed, 4),
+    }
+    if obs.tracing_enabled():
+        for phase, seconds in sorted(ctx.phase_seconds.items()):
+            metadata[f"phase_{phase}_seconds"] = round(seconds, 4)
+    return result.with_metadata(metadata)
 
 
 def run_experiments(

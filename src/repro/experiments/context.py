@@ -19,10 +19,12 @@ across experiments too: fig15 and fig16 share the same ``no-rep`` and
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Callable, Mapping, Sequence, TypeVar
 
 from repro import CollectedDatasets, RetryPolicy, build_scenario, collect_datasets
+from repro import obs
 from repro.core import resilience
 from repro.errors import AnalysisError
 from repro.core.replication import AvailabilityPoint, PlacementMap
@@ -118,6 +120,10 @@ class ExperimentContext:
             "placements_built": 0,
             "curves_evaluated": 0,
         }
+        #: Wall-clock seconds accumulated inside each pipeline phase
+        #: (scenario, collect, twitter, placement, sweep) — the profile
+        #: behind ``--trace`` and the ``phase_*_seconds`` metadata.
+        self.phase_seconds: dict[str, float] = {}
         self._network = None
         self._data: CollectedDatasets | None = None
         self._twitter: TwitterBaselines | None = None
@@ -161,11 +167,26 @@ class ExperimentContext:
 
     # -- the three pipeline roots --------------------------------------------
 
+    def _phase(self, name: str, build: Callable[[], T], **attrs: object) -> T:
+        """Run one pipeline phase inside a span, accumulating its seconds."""
+        with obs.span(f"phase/{name}", **attrs):
+            started = time.perf_counter()
+            result = build()
+            elapsed = time.perf_counter() - started
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+        obs.count("repro_experiment_phase_seconds_total", elapsed, phase=name)
+        return result
+
     @property
     def network(self):
         """The scenario fediverse (built on first access)."""
         if self._network is None:
-            self._network = build_scenario(self.preset, seed=self.seed)
+            self._network = self._phase(
+                "scenario",
+                lambda: build_scenario(self.preset, seed=self.seed),
+                preset=self.preset,
+                seed=self.seed,
+            )
             self.counters["build_scenario"] += 1
         return self._network
 
@@ -173,16 +194,21 @@ class ExperimentContext:
     def data(self) -> CollectedDatasets:
         """The full measurement pipeline output (built on first access)."""
         if self._data is None:
-            self._data = collect_datasets(
-                self.network,
-                monitor_interval_minutes=self.monitor_interval_minutes,
-                corpus_dir=self.corpus_dir,
-                corpus_shard_size=self.corpus_shard_size,
-                graph_dir=self.graph_dir,
-                graph_shard_size=self.graph_shard_size,
-                fault_rates=self.fault_rate,
-                fault_seed=self.fault_seed,
-                retry_policy=self.retries,
+            network = self.network  # build the scenario in its own phase
+            self._data = self._phase(
+                "collect",
+                lambda: collect_datasets(
+                    network,
+                    monitor_interval_minutes=self.monitor_interval_minutes,
+                    corpus_dir=self.corpus_dir,
+                    corpus_shard_size=self.corpus_shard_size,
+                    graph_dir=self.graph_dir,
+                    graph_shard_size=self.graph_shard_size,
+                    fault_rates=self.fault_rate,
+                    fault_seed=self.fault_seed,
+                    retry_policy=self.retries,
+                ),
+                preset=self.preset,
             )
             self.counters["collect_datasets"] += 1
         return self._data
@@ -191,8 +217,13 @@ class ExperimentContext:
     def twitter(self) -> TwitterBaselines:
         """The Twitter comparison baselines (built on first access)."""
         if self._twitter is None:
-            self._twitter = TwitterBaselines.generate(
-                days=self.twitter_days, n_users=self.twitter_users, seed=self.twitter_seed
+            self._twitter = self._phase(
+                "twitter",
+                lambda: TwitterBaselines.generate(
+                    days=self.twitter_days,
+                    n_users=self.twitter_users,
+                    seed=self.twitter_seed,
+                ),
             )
             self.counters["twitter_baselines"] += 1
         return self._twitter
@@ -386,24 +417,29 @@ class ExperimentContext:
         shards instead of walking the networkx graph.
         """
         if spec not in self._placements:
-            if self.data.corpus is not None:
-                graphs = (
-                    self.data.graph_store
-                    if self.data.graph_store is not None
-                    else self.data.graphs
-                )
-                placements = spec.build_from_corpus(
-                    self.data.corpus,
-                    graphs=graphs,
+            data = self.data  # collect in its own phase, not under placement
+
+            def build() -> PlacementMap:
+                if data.corpus is not None:
+                    graphs = (
+                        data.graph_store
+                        if data.graph_store is not None
+                        else data.graphs
+                    )
+                    return spec.build_from_corpus(
+                        data.corpus,
+                        graphs=graphs,
+                        candidate_domains=self.domains,
+                    )
+                return spec.build(
+                    data.toots,
+                    graphs=data.graphs,
                     candidate_domains=self.domains,
                 )
-            else:
-                placements = spec.build(
-                    self.data.toots,
-                    graphs=self.data.graphs,
-                    candidate_domains=self.domains,
-                )
-            self._placements[spec] = placements
+
+            self._placements[spec] = self._phase(
+                "placement", build, strategy=spec.name
+            )
             self.counters["placements_built"] += 1
         return self._placements[spec]
 
@@ -447,8 +483,16 @@ class ExperimentContext:
                 or cached[0] is not failure
             ]
             if missing:
-                fresh = availability_curves(
-                    placements, missing, shard_size=self.shard_size, workers=self.workers
+                fresh = self._phase(
+                    "sweep",
+                    lambda: availability_curves(
+                        placements,
+                        missing,
+                        shard_size=self.shard_size,
+                        workers=self.workers,
+                    ),
+                    strategy=spec.name,
+                    failures=len(missing),
                 )
                 for failure in missing:
                     self._curve_cache[(spec, failure.name)] = (

@@ -1,0 +1,182 @@
+"""Zero-dependency observability: spans, metrics, and the ``repro.*`` logs.
+
+This package is the one place the rest of the codebase talks to when it
+wants to be observable.  The module-level facade keeps call sites to a
+single cheap line:
+
+``with obs.span("engine/shard", start=a, stop=b): ...``
+    A tracing span.  When no tracer is installed (the default) this
+    returns a shared null span — one global read and an empty ``with``.
+
+``obs.count(name, value, **labels)`` / ``obs.observe(...)`` / ``obs.set_gauge(...)``
+    Guarded metric writes: no-ops unless :func:`enable_metrics` has run,
+    so hot loops pay one module-global bool check when observability is
+    off.  Long-lived readers (the ``serve`` layer) write through
+    :func:`metrics` directly instead — their ``/metrics`` endpoint
+    should always be truthful, flag or no flag.
+
+``obs.active()``
+    True when either tracing or metrics are on — lets a hot path skip
+    clock reads entirely when nobody is watching.
+
+The registry and tracer here are process-global on purpose: a CLI run is
+one process, and the point of the layer is a single ``--trace``/
+``--metrics`` flag profiling everything from the crawler to the sweep.
+Tests that need isolation construct their own
+:class:`~repro.obs.metrics.MetricsRegistry` / :class:`Tracer`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+from repro.obs.metrics import HISTOGRAM_BUCKETS, MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_FORMATS,
+    Tracer,
+    chrome_trace_events,
+    root_span_seconds,
+)
+
+__all__ = [
+    "HISTOGRAM_BUCKETS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "TRACE_FORMATS",
+    "Tracer",
+    "active",
+    "chrome_trace_events",
+    "configure_logging",
+    "count",
+    "disable_metrics",
+    "enable_metrics",
+    "get_tracer",
+    "metrics",
+    "metrics_enabled",
+    "observe",
+    "root_span_seconds",
+    "set_gauge",
+    "set_tracer",
+    "span",
+    "tracing_enabled",
+]
+
+_tracer: Tracer | None = None
+_metrics = MetricsRegistry()
+_metrics_on = False
+
+
+# -- tracing ---------------------------------------------------------------
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or, with ``None``, remove) the process-wide tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, if any."""
+    return _tracer
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are currently being recorded."""
+    tracer = _tracer
+    return tracer is not None and tracer.enabled
+
+
+def span(name: str, **attrs: Any):
+    """A span on the installed tracer, or the null span when there is none."""
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+# -- metrics ---------------------------------------------------------------
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide registry (records regardless of the enable flag)."""
+    return _metrics
+
+
+def metrics_enabled() -> bool:
+    """Whether the guarded helpers (:func:`count` etc.) are recording."""
+    return _metrics_on
+
+
+def enable_metrics(fresh: bool = False) -> None:
+    """Turn on guarded metric collection; ``fresh=True`` resets first."""
+    global _metrics_on
+    if fresh:
+        _metrics.reset()
+    _metrics_on = True
+
+
+def disable_metrics() -> None:
+    """Turn guarded metric collection back off."""
+    global _metrics_on
+    _metrics_on = False
+
+
+def active() -> bool:
+    """Whether anything (tracer or metrics) is currently observing."""
+    return _metrics_on or tracing_enabled()
+
+
+def count(name: str, value: float = 1.0, **labels: Any) -> None:
+    """Increment a counter — no-op unless metrics are enabled."""
+    if _metrics_on:
+        _metrics.inc(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels: Any) -> None:
+    """Record a histogram sample — no-op unless metrics are enabled."""
+    if _metrics_on:
+        _metrics.observe(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge — no-op unless metrics are enabled."""
+    if _metrics_on:
+        _metrics.set_gauge(name, value, **labels)
+
+
+# -- logging ---------------------------------------------------------------
+
+_LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(verbosity: int = 0, stream: TextIO | None = None) -> int:
+    """Configure the ``repro`` logger tree from a CLI verbosity knob.
+
+    ``verbosity`` is ``(-v count) - (-q count)``: 0 → WARNING (default),
+    1 → INFO, ≥2 → DEBUG, -1 → ERROR, ≤-2 → CRITICAL.  The handler is
+    attached to the ``repro`` logger (not the root), so library users
+    embedding :mod:`repro` keep their own logging setup untouched.
+    Returns the effective level.
+    """
+    if verbosity >= 2:
+        level = logging.DEBUG
+    elif verbosity == 1:
+        level = logging.INFO
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == -1:
+        level = logging.ERROR
+    else:
+        level = logging.CRITICAL
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_LOG_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return level

@@ -1,0 +1,248 @@
+"""Thread-safe tracing spans with JSONL and Chrome ``trace_event`` export.
+
+A :class:`Tracer` hands out context-manager spans.  Each span records a
+name, free-form attributes, a monotonic start time and duration, and its
+parent span — tracked through a :mod:`contextvars` variable, so nesting
+works across ``with`` blocks, generators, and (where contexts are
+propagated) asyncio tasks.  Threads spawned the ordinary way start with
+an empty context, so spans opened inside worker threads become roots of
+their own trees; the recording side is fully thread-safe either way.
+
+Two properties keep the tracer honest as *infrastructure*:
+
+* **Injectable clock.**  ``Tracer(clock=...)`` accepts any zero-argument
+  float callable, so tests assert exact durations without sleeping.
+* **No-op fast path.**  A disabled tracer (``enabled=False``) returns a
+  shared :data:`NULL_SPAN` singleton whose ``__enter__``/``__exit__`` do
+  nothing — instrumented hot paths pay one attribute check and an empty
+  ``with`` block, and emit zero events.
+
+Export formats:
+
+* ``jsonl`` — one JSON object per completed span, streamed to the trace
+  file as spans close (crash-safe: a killed run keeps everything flushed
+  so far).
+* ``chrome`` — the Chrome ``trace_event`` array format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev; buffered in memory
+  and written on :meth:`Tracer.close`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from typing import Any, Callable, TextIO
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "NULL_SPAN",
+    "TRACE_FORMATS",
+    "Tracer",
+    "chrome_trace_events",
+    "root_span_seconds",
+]
+
+#: Export formats a :class:`Tracer` understands.
+TRACE_FORMATS = ("jsonl", "chrome")
+
+_ACTIVE_SPAN: ContextVar["_Span | None"] = ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+
+class _NullSpan:
+    """The do-nothing span a disabled tracer hands out (a singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        """Discard ``attrs`` (matches :meth:`_Span.set`)."""
+        return self
+
+
+#: Shared no-op span: one allocation for the whole process.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; becomes an event dict in ``tracer.events`` on exit."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "started",
+        "_token",
+        "_thread",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.started = 0.0
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes to an open span (e.g. results known late)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        parent = _ACTIVE_SPAN.get()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.span_id = tracer._next_id()
+        self._thread = threading.get_ident()
+        self._token = _ACTIVE_SPAN.set(self)
+        # start the clock last so setup cost stays outside the span
+        self.started = tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        ended = self._tracer.clock()
+        _ACTIVE_SPAN.reset(self._token)
+        self._tracer._record(self, ended, exc_type)
+        return False
+
+
+class Tracer:
+    """Collects spans; optionally streams JSONL or exports Chrome format.
+
+    Parameters
+    ----------
+    path:
+        Trace file to write, or ``None`` to only buffer in memory
+        (``tracer.events``).
+    fmt:
+        ``"jsonl"`` (streamed per span) or ``"chrome"`` (written on
+        :meth:`close`).
+    clock:
+        Monotonic float clock; injectable for tests.
+    enabled:
+        When false, :meth:`span` returns :data:`NULL_SPAN` and nothing
+        is ever recorded.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        *,
+        fmt: str = "jsonl",
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        if fmt not in TRACE_FORMATS:
+            raise ConfigurationError(
+                f"unknown trace format {fmt!r}; expected one of {TRACE_FORMATS}"
+            )
+        self.path = os.fspath(path) if path is not None else None
+        self.fmt = fmt
+        self.clock = clock
+        self.enabled = enabled
+        self.events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._last_id = 0
+        self._stream: TextIO | None = None
+        if self.path is not None and enabled:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+        if self.path is not None and fmt == "jsonl" and enabled:
+            self._stream = open(self.path, "w", encoding="utf-8")
+
+    def span(self, name: str, **attrs: Any):
+        """A context-manager span (or :data:`NULL_SPAN` when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._last_id += 1
+            return self._last_id
+
+    def _record(self, span: _Span, ended: float, exc_type) -> None:
+        event: dict[str, Any] = {
+            "name": span.name,
+            "ts": span.started,
+            "dur": max(0.0, ended - span.started),
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "thread": span._thread,
+        }
+        if span.attrs:
+            event["attrs"] = span.attrs
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        with self._lock:
+            self.events.append(event)
+            if self._stream is not None:
+                self._stream.write(json.dumps(event, default=str) + "\n")
+                self._stream.flush()
+
+    def close(self) -> None:
+        """Flush and close the trace file (writes it, for Chrome format)."""
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+        if self.path is not None and self.fmt == "chrome":
+            self.export_chrome(self.path)
+
+    def export_chrome(self, path: str | os.PathLike[str]) -> None:
+        """Write buffered spans as a Chrome ``trace_event`` JSON file."""
+        with self._lock:
+            events = list(self.events)
+        payload = {"traceEvents": chrome_trace_events(events)}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=str)
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def chrome_trace_events(events: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Span events as Chrome ``trace_event`` complete-phase (``X``) dicts."""
+    pid = os.getpid()
+    chrome = []
+    for event in events:
+        entry: dict[str, Any] = {
+            "ph": "X",
+            "name": event["name"],
+            "pid": pid,
+            "tid": event.get("thread", 0),
+            "ts": round(event["ts"] * 1e6, 3),
+            "dur": round(event["dur"] * 1e6, 3),
+        }
+        args = dict(event.get("attrs") or {})
+        if event.get("error"):
+            args["error"] = event["error"]
+        if event.get("parent") is not None:
+            args["parent_span"] = event["parent"]
+        if args:
+            entry["args"] = args
+        chrome.append(entry)
+    return chrome
+
+
+def root_span_seconds(events: list[dict[str, Any]]) -> float:
+    """Total seconds covered by parentless spans (wall-clock coverage)."""
+    return sum(e["dur"] for e in events if e.get("parent") is None)

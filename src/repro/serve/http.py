@@ -1,11 +1,18 @@
 """The JSON-over-HTTP transport: a stdlib ``ThreadingHTTPServer``.
 
 Endpoints map one-to-one onto :func:`~repro.serve.service.handle_query`
-verbs — ``/availability``, ``/timeline``, ``/best_placement``, ``/meta``
-— plus ``/health`` for liveness probes.  Query parameters are the
-query grammar verbatim (``?user=…&strategy=s-rep&k=10``).  Bad input is
-a 400 with an ``{"error": …}`` body, an unknown path a 404; nothing
-raises through the server loop.
+verbs — ``/availability``, ``/timeline``, ``/best_placement``, ``/meta``,
+``/stats`` — plus ``/health`` for liveness probes and ``/metrics`` for
+Prometheus text exposition.  Query parameters are the query grammar
+verbatim (``?user=…&strategy=s-rep&k=10``).  Bad input is a 400 with an
+``{"error": …}`` body, an unknown path a 404; nothing raises through the
+server loop.
+
+Every request is recorded into the process-wide metrics registry
+(:func:`repro.obs.metrics`) regardless of whether ``--metrics`` was
+passed, so ``GET /metrics`` always tells the truth about this server:
+``repro_serve_requests_total{endpoint,status}`` and the
+``repro_serve_request_seconds{endpoint}`` latency histogram.
 
 Threading matters here: the handler threads all call into one shared
 :class:`~repro.serve.service.AvailabilityService`, whose one-time
@@ -16,9 +23,11 @@ concurrent requests get bit-identical answers to serial ones.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlsplit
 
+from repro import obs
 from repro.errors import ReproError
 from repro.serve.service import AvailabilityService, handle_query
 
@@ -28,6 +37,7 @@ _ROUTES = {
     "/timeline": "timeline",
     "/best_placement": "best_placement",
     "/meta": "meta",
+    "/stats": "stats",
 }
 
 
@@ -44,8 +54,11 @@ def build_http_server(
     class Handler(BaseHTTPRequestHandler):
         def _reply(self, status: int, payload: dict) -> None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self._reply_bytes(status, body, "application/json")
+
+        def _reply_bytes(self, status: int, body: bytes, content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
@@ -53,22 +66,43 @@ def build_http_server(
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
             parsed = urlsplit(self.path)
             path = parsed.path.rstrip("/") or "/"
-            if path == "/health":
-                self._reply(200, {"status": "ok"})
-                return
-            verb = _ROUTES.get(path)
-            if verb is None:
-                self._reply(
-                    404,
-                    {"error": f"unknown endpoint {path!r}",
-                     "endpoints": sorted(_ROUTES) + ["/health"]},
-                )
-                return
-            params = dict(parse_qsl(parsed.query))
+            started = time.perf_counter()
+            status = 200
             try:
-                self._reply(200, handle_query(service, verb, params))
-            except ReproError as exc:
-                self._reply(400, {"error": str(exc)})
+                if path == "/health":
+                    self._reply(200, {"status": "ok"})
+                    return
+                if path == "/metrics":
+                    body = obs.metrics().render_prometheus().encode("utf-8")
+                    self._reply_bytes(
+                        200, body, "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                    return
+                verb = _ROUTES.get(path)
+                if verb is None:
+                    status = 404
+                    self._reply(
+                        404,
+                        {"error": f"unknown endpoint {path!r}",
+                         "endpoints": sorted(_ROUTES) + ["/health", "/metrics"]},
+                    )
+                    return
+                params = dict(parse_qsl(parsed.query))
+                try:
+                    self._reply(200, handle_query(service, verb, params))
+                except ReproError as exc:
+                    status = 400
+                    self._reply(400, {"error": str(exc)})
+            finally:
+                registry = obs.metrics()
+                registry.observe(
+                    "repro_serve_request_seconds",
+                    time.perf_counter() - started,
+                    endpoint=path,
+                )
+                registry.inc(
+                    "repro_serve_requests_total", endpoint=path, status=str(status)
+                )
 
         def log_message(self, *args) -> None:  # silence per-request stderr noise
             pass

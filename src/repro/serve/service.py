@@ -41,11 +41,13 @@ any store) — register such models explicitly via :meth:`add_failure`.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.corpus import CorpusStore, GraphStore
 from repro.engine.failures import FailureModel, InstanceRemoval
 from repro.engine.incidence import DomainLookup
@@ -147,6 +149,7 @@ class AvailabilityService:
             "loss_tables_built": 0,
             "row_indexes_built": 0,
         }
+        self._started = time.monotonic()
         self._lock = threading.RLock()
         self._failures: dict[str, FailureModel] | None = None
         self._states: dict[str, _StrategyState] = {}
@@ -240,6 +243,7 @@ class AvailabilityService:
         with self._lock:
             state = self._states.get(spec.name)
             if state is None:
+                build_started = time.perf_counter()
                 arrays = PlacementArrays.from_corpus(
                     self.corpus,
                     spec.kind,
@@ -258,6 +262,11 @@ class AvailabilityService:
                 state = _StrategyState(spec, arrays, sharded)
                 self._states[spec.name] = state
                 self.build_counters["strategies_built"] += 1
+                obs.metrics().observe(
+                    "repro_serve_build_seconds",
+                    time.perf_counter() - build_started,
+                    kind="strategy",
+                )
             return state
 
     def _removal_for(
@@ -293,6 +302,7 @@ class AvailabilityService:
         with self._lock:
             entry = state.curves.get(failure.name)
             if entry is None or entry[0] is not failure:
+                build_started = time.perf_counter()
                 column, steps = self._removal_for(state, failure)
                 losses = streaming_losses(
                     state.sharded,
@@ -306,6 +316,11 @@ class AvailabilityService:
                 entry = (failure, curve)
                 state.curves[failure.name] = entry
                 self.build_counters["loss_tables_built"] += 1
+                obs.metrics().observe(
+                    "repro_serve_build_seconds",
+                    time.perf_counter() - build_started,
+                    kind="loss_table",
+                )
             return entry[1]
 
     def warm(self, strategies: Sequence[str] | None = None) -> None:
@@ -579,8 +594,16 @@ class AvailabilityService:
             "kill_step": kill_step,
         }
 
+    def uptime_seconds(self) -> float:
+        """Seconds since the service object was constructed."""
+        return round(time.monotonic() - self._started, 3)
+
     def meta(self) -> dict[str, object]:
-        """Service shape: stores, sizes, warmed strategies, known failures."""
+        """Service shape: stores, sizes, warmed strategies, known failures.
+
+        ``uptime_seconds`` is the one volatile key — strip it before
+        comparing two meta answers for equality.
+        """
         return {
             "corpus": str(self.corpus.path),
             "graph": str(self.graph.path) if self.graph is not None else None,
@@ -590,6 +613,21 @@ class AvailabilityService:
             "strategies": sorted(self._states),
             "failures": sorted(self.failures()),
             "removal_steps": self.removal_steps,
+            "build_counters": dict(self.build_counters),
+            "uptime_seconds": self.uptime_seconds(),
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Observability snapshot: builds, uptime, and every live metric.
+
+        The metric families come straight from the process-wide registry
+        (:func:`repro.obs.metrics`), so per-endpoint HTTP latencies and
+        build timings recorded by the transports show up here too.
+        """
+        return {
+            "build_counters": dict(self.build_counters),
+            "uptime_seconds": self.uptime_seconds(),
+            "metrics": obs.metrics().snapshot(),
         }
 
 
@@ -599,6 +637,7 @@ _VERB_PARAMS: Mapping[str, frozenset[str]] = {
     "timeline": frozenset({"user", "strategy", "failure", "k"}),
     "best_placement": frozenset({"home", "n_replicas", "failure"}),
     "meta": frozenset(),
+    "stats": frozenset(),
 }
 
 
@@ -629,6 +668,8 @@ def handle_query(
         )
     if verb == "meta":
         return service.meta()
+    if verb == "stats":
+        return service.stats()
     if verb == "best_placement":
         if "home" not in params:
             raise AnalysisError("best_placement needs home=<instance>")

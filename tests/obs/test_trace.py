@@ -1,0 +1,191 @@
+"""Tracer contract: nesting, clocks, export formats, and the null path."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import NULL_SPAN, Tracer, chrome_trace_events, root_span_seconds
+
+
+class TickClock:
+    """A deterministic clock advancing one unit per read."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+def test_spans_record_name_duration_and_parentage():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("outer", preset="small") as outer:
+        with tracer.span("inner") as inner:
+            pass
+        assert inner.parent_id == outer.span_id
+    inner_event, outer_event = tracer.events
+    assert inner_event["name"] == "inner"
+    assert inner_event["parent"] == outer_event["span"]
+    assert outer_event["parent"] is None
+    assert outer_event["attrs"] == {"preset": "small"}
+    # tick clock: outer start=1, inner start=2/end=3, outer end=4
+    assert inner_event["dur"] == pytest.approx(1.0)
+    assert outer_event["dur"] == pytest.approx(3.0)
+
+
+def test_set_attaches_attributes_to_open_span():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("work") as span:
+        span.set(rows=42)
+    assert tracer.events[0]["attrs"] == {"rows": 42}
+
+
+def test_exceptions_are_recorded_and_propagate():
+    tracer = Tracer(clock=TickClock())
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    assert tracer.events[0]["error"] == "ValueError"
+
+
+def test_sibling_spans_share_a_parent():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("root"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    by_name = {event["name"]: event for event in tracer.events}
+    assert by_name["a"]["parent"] == by_name["root"]["span"]
+    assert by_name["b"]["parent"] == by_name["root"]["span"]
+
+
+def test_threads_start_their_own_span_trees():
+    tracer = Tracer()
+    with tracer.span("main-root"):
+        worker_events = []
+
+        def worker():
+            with tracer.span("worker-root"):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    by_name = {event["name"]: event for event in tracer.events}
+    # a plain thread does not inherit the spawning context
+    assert by_name["worker-root"]["parent"] is None
+    assert by_name["worker-root"]["thread"] != by_name["main-root"]["thread"]
+
+
+def test_jsonl_stream_is_written_per_span(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(path, clock=TickClock())
+    with tracer.span("one"):
+        pass
+    # flushed before close: a killed run keeps completed spans
+    lines = path.read_text().splitlines()
+    assert len(lines) == 1
+    with tracer.span("two"):
+        pass
+    tracer.close()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["name"] for r in records] == ["one", "two"]
+    assert all(r["dur"] >= 0 for r in records)
+
+
+def test_chrome_export_loads_as_trace_events(tmp_path):
+    path = tmp_path / "trace.json"
+    tracer = Tracer(path, fmt="chrome", clock=TickClock())
+    with tracer.span("outer"):
+        with tracer.span("inner", k=3):
+            pass
+    tracer.close()
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert [e["name"] for e in events] == ["inner", "outer"]
+    for event in events:
+        assert event["ph"] == "X"
+        assert {"pid", "tid", "ts", "dur"} <= set(event)
+    # microsecond units: inner lasted one tick = 1s = 1e6 µs
+    assert events[0]["dur"] == pytest.approx(1e6)
+    assert events[0]["args"]["k"] == 3
+
+
+def test_unknown_format_is_rejected():
+    with pytest.raises(ConfigurationError):
+        Tracer(fmt="pprof")
+
+
+def test_disabled_tracer_hands_out_the_null_span_and_records_nothing():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", k=1)
+    assert span is NULL_SPAN
+    with span:
+        pass
+    assert tracer.events == []
+
+
+def test_disabled_tracer_emits_zero_events_under_threaded_load():
+    tracer = Tracer(enabled=False)
+    n_threads, per_thread = 8, 2_000
+
+    def worker():
+        for i in range(per_thread):
+            with tracer.span("hot", i=i) as span:
+                span.set(done=True)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert tracer.events == []
+
+
+def test_concurrent_recording_is_complete_and_consistent():
+    tracer = Tracer()
+    n_threads, per_thread = 8, 500
+
+    def worker(tag):
+        for _ in range(per_thread):
+            with tracer.span("outer", tag=tag):
+                with tracer.span("inner"):
+                    pass
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(tracer.events) == n_threads * per_thread * 2
+    ids = [event["span"] for event in tracer.events]
+    assert len(set(ids)) == len(ids)
+    outers = {e["span"] for e in tracer.events if e["name"] == "outer"}
+    assert all(
+        e["parent"] in outers for e in tracer.events if e["name"] == "inner"
+    )
+
+
+def test_root_span_seconds_sums_only_parentless_spans():
+    tracer = Tracer(clock=TickClock())
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    assert root_span_seconds(tracer.events) == pytest.approx(3.0)
+
+
+def test_chrome_trace_events_flags_errors():
+    tracer = Tracer(clock=TickClock())
+    try:
+        with tracer.span("doomed"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    (event,) = chrome_trace_events(tracer.events)
+    assert event["args"]["error"] == "RuntimeError"

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 from repro.experiments import ExperimentResult
 
@@ -281,6 +282,113 @@ class TestRunCommand:
         assert len(result.tables) >= 1
         assert len(result.series) >= 1
         assert 0.0 <= result.scalar("no_rep_top10_instances_by_toots") <= 1.0
+
+
+class TestObservabilityFlags:
+    def test_parser_defaults_and_variants(self):
+        args = build_parser().parse_args(["run", "fig15"])
+        assert args.trace_path is None
+        assert args.trace_format == "jsonl"
+        assert args.metrics_path is None
+        assert args.verbose == 0 and args.quiet == 0
+
+        args = build_parser().parse_args(
+            ["run", "fig15", "--trace", "t.jsonl", "--trace-format", "chrome",
+             "--metrics", "-vv", "-q"]
+        )
+        assert args.trace_path == "t.jsonl"
+        assert args.trace_format == "chrome"
+        assert args.metrics_path == "-"  # stdout sentinel
+        assert args.verbose == 2 and args.quiet == 1
+
+        args = build_parser().parse_args(["serve", "corp", "--metrics", "m.prom"])
+        assert args.metrics_path == "m.prom"
+
+    def test_invalid_trace_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig15", "--trace-format", "xml"])
+
+    def test_run_traced_with_metrics_end_to_end(self, tmp_path, capsys):
+        from repro import obs
+
+        trace_path = tmp_path / "trace.jsonl"
+        out_dir = tmp_path / "results"
+        assert main(["run", "fig15", "--preset", "tiny", "--seed", "3",
+                     "--trace", str(trace_path), "--metrics",
+                     "--json", str(out_dir)]) == 0
+        captured = capsys.readouterr()
+
+        events = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        names = {event["name"] for event in events}
+        for expected in ("phase/scenario", "phase/collect", "phase/placement",
+                         "phase/sweep", "experiment/fig15"):
+            assert expected in names, f"missing span {expected}"
+        assert "trace:" in captured.err
+        assert "root spans cover" in captured.err
+
+        # the Prometheus dump lands on stdout after the result tables
+        assert "# TYPE repro_experiment_phase_seconds_total counter" in captured.out
+        assert 'phase="sweep"' in captured.out
+
+        # traced runs stamp per-phase seconds into the result metadata
+        payload = json.loads((out_dir / "fig15.json").read_text())
+        assert payload["metadata"]["phase_scenario_seconds"] >= 0
+
+        # the process-wide state is reset for the next in-process call
+        assert obs.get_tracer() is None
+        assert not obs.metrics_enabled()
+
+    def test_chrome_trace_loads_as_trace_event_json(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "headline", "--preset", "tiny", "--seed", "3",
+                     "--trace", str(trace_path), "--trace-format", "chrome"]) == 0
+        capsys.readouterr()
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"], "chrome trace has no events"
+        event = payload["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert set(event) >= {"name", "pid", "tid", "ts", "dur"}
+
+    def test_metrics_written_to_path(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["run", "headline", "--preset", "tiny", "--seed", "3",
+                     "--metrics", str(metrics_path)]) == 0
+        captured = capsys.readouterr()
+        assert "# TYPE" not in captured.out  # dump went to the file, not stdout
+        assert "repro_experiment_phase_seconds_total" in metrics_path.read_text()
+
+    def test_untraced_metadata_shape_is_unchanged(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        traced_dir = tmp_path / "traced"
+        assert main(["run", "fig14", "--preset", "tiny", "--seed", "3",
+                     "--json", str(plain_dir)]) == 0
+        assert main(["run", "fig14", "--preset", "tiny", "--seed", "3",
+                     "--trace", str(tmp_path / "t.jsonl"),
+                     "--json", str(traced_dir)]) == 0
+        capsys.readouterr()
+        plain = json.loads((plain_dir / "fig14.json").read_text())
+        traced = json.loads((traced_dir / "fig14.json").read_text())
+        assert not any(k.startswith("phase_") for k in plain["metadata"])
+        for payload in (plain, traced):
+            payload["metadata"] = {
+                k: v for k, v in payload["metadata"].items()
+                if k != "elapsed_seconds" and not k.startswith("phase_")
+            }
+        assert traced == plain
+
+    def test_unwritable_trace_path_is_exit_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        assert main(["run", "fig15", "--trace",
+                     str(blocker / "t.jsonl")]) == 2
+        assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_missing_trace_parent_directories_are_created(self, tmp_path):
+        target = tmp_path / "out" / "nested" / "t.jsonl"
+        tracer = obs.Tracer(target)
+        obs.set_tracer(None)
+        tracer.close()
+        assert target.exists()
 
 
 class TestServeCommand:

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from benchmarks.perf_log import SCHEMA, _check_metrics, record
+from benchmarks.perf_log import SCHEMA, _check_metrics, diff_documents, main, record
 
 
 class TestMetricValidation:
@@ -53,3 +53,53 @@ class TestRecord:
         assert set(document["entries"]) == {"first", "second"}
         assert document["entries"]["first"]["seconds"] == 2.0
         assert document["entries"]["first"]["cpu_count"] >= 1
+
+
+class TestDiff:
+    def write(self, tmp_path, name, sections) -> str:
+        target = tmp_path / name
+        for section, payload in sections.items():
+            record(section, payload, path=target)
+        return str(target)
+
+    def test_changed_metrics_print_signed_deltas(self):
+        old_doc = {"entries": {"engine": {"seconds": 2.0, "speedup": 3.0}}}
+        new_doc = {"entries": {"engine": {"seconds": 1.0, "speedup": 3.0}}}
+        lines = diff_documents(old_doc, new_doc)
+        assert lines == ["engine.seconds: 2 -> 1 (-50.0%)"]
+
+    def test_nested_metrics_and_one_sided_sections(self, tmp_path):
+        old_doc = {"entries": {
+            "engine": {"latency": {"p50_ms": 10.0}},
+            "gone": {"x": 1},
+        }}
+        new_doc = {"entries": {
+            "engine": {"latency": {"p50_ms": 12.0, "p99_ms": 20.0}},
+            "fresh": {"y": 2},
+        }}
+        lines = diff_documents(old_doc, new_doc)
+        assert "engine.latency.p50_ms: 10 -> 12 (+20.0%)" in lines
+        assert "engine.latency.p99_ms: (absent) -> 20" in lines
+        assert "fresh: only in NEW" in lines
+        assert "gone: only in OLD" in lines
+
+    def test_machine_context_is_not_a_regression(self, tmp_path):
+        old = self.write(tmp_path, "old.json", {"engine": {"seconds": 1.0}})
+        new = self.write(tmp_path, "new.json", {"engine": {"seconds": 1.0}})
+        # recorded_at/python/machine context may differ; metrics do not
+        old_doc = json.loads((tmp_path / "old.json").read_text())
+        new_doc = json.loads((tmp_path / "new.json").read_text())
+        new_doc["entries"]["engine"]["cpu_count"] = 999
+        assert diff_documents(old_doc, new_doc) == []
+
+    def test_cli_prints_deltas(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", {"engine": {"seconds": 4.0}})
+        new = self.write(tmp_path, "new.json", {"engine": {"seconds": 5.0}})
+        assert main(["--diff", old, new]) == 0
+        out = capsys.readouterr().out
+        assert "engine.seconds: 4 -> 5 (+25.0%)" in out
+
+    def test_cli_reports_no_changes(self, tmp_path, capsys):
+        path = self.write(tmp_path, "same.json", {"engine": {"seconds": 4.0}})
+        assert main(["--diff", path, path]) == 0
+        assert "no metric changes" in capsys.readouterr().out
